@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build vet test bench cover fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzzing pass over the wire-format parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=15s ./internal/packet/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/isa/
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=15s ./internal/isa/
+
+# Regenerate every paper table and figure.
+experiments:
+	$(GO) run ./cmd/cimbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/edge
+	$(GO) run ./examples/graphanalytics
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/selfprogramming
+	$(GO) run ./examples/training
+	$(GO) run ./examples/analytics
+
+clean:
+	$(GO) clean -testcache

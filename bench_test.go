@@ -1,0 +1,599 @@
+package cimrev
+
+// Benchmark harness: one benchmark per paper table/figure (E1-E7 in
+// DESIGN.md), plus ablation benches for the design choices the simulator
+// exposes and micro-benchmarks for the hot substrates.
+//
+// The per-figure benchmarks report the reproduced quantities through
+// b.ReportMetric (simulated-time ratios), while ns/op measures the
+// simulator's own execution speed.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cimrev/internal/cim"
+	"cimrev/internal/crossbar"
+	"cimrev/internal/dataflow"
+	"cimrev/internal/dpe"
+	"cimrev/internal/energy"
+	"cimrev/internal/experiments"
+	"cimrev/internal/fault"
+	"cimrev/internal/nn"
+	"cimrev/internal/packet"
+	"cimrev/internal/resource"
+	"cimrev/internal/security"
+	"cimrev/internal/vonneumann"
+)
+
+// --- E1: Fig 2 ---
+
+func BenchmarkFig2BytesPerFlop(b *testing.B) {
+	var res *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TotalDecline, "decline_x")
+	b.ReportMetric(-res.Slope, "decade_slope")
+}
+
+// --- E2: Table 1 ---
+
+func BenchmarkTable1Comparison(b *testing.B) {
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.InMemory.MaxScale), "cim_scale_units")
+	b.ReportMetric(res.InMemory.WorkLostPct, "cim_worklost_pct")
+	b.ReportMetric(res.InMemory.ReachablePct, "cim_reach_pct")
+}
+
+// --- E3: Table 2 ---
+
+func BenchmarkTable2Suitability(b *testing.B) {
+	var res *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Agreement, "agreement_pct")
+}
+
+// --- E4-E6: Section VI latency / bandwidth / power ---
+
+// secVISweep caches the sweep across the three metric benchmarks.
+func secVISweep(b *testing.B) *experiments.SecVIResult {
+	b.Helper()
+	res, err := experiments.SecVI([]int{512, 1024, 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkSecVILatency(b *testing.B) {
+	var res *experiments.SecVIResult
+	for i := 0; i < b.N; i++ {
+		res = secVISweep(b)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.LatVsCPU, "lat_vs_cpu_x")
+	b.ReportMetric(last.LatVsGPU, "lat_vs_gpu_x")
+}
+
+func BenchmarkSecVIBandwidth(b *testing.B) {
+	var res *experiments.SecVIResult
+	for i := 0; i < b.N; i++ {
+		res = secVISweep(b)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.BWVsCPU, "bw_vs_cpu_x")
+	b.ReportMetric(last.BWVsGPU, "bw_vs_gpu_x")
+}
+
+func BenchmarkSecVIPower(b *testing.B) {
+	var res *experiments.SecVIResult
+	for i := 0; i < b.N; i++ {
+		res = secVISweep(b)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.PowVsCPU, "pow_vs_cpu_x")
+	b.ReportMetric(last.PowVsCPUSingle, "pow_vs_cpu1_x")
+	b.ReportMetric(last.PowVsGPU, "pow_vs_gpu_x")
+}
+
+// --- E7: Section VI scale ---
+
+func BenchmarkSecVIScale(b *testing.B) {
+	var res *experiments.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Scale([]int{1, 4, 8}, 256, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(100*last.Efficiency, "eff8_pct")
+	b.ReportMetric(last.UpdateStallPct, "stall_pct")
+	b.ReportMetric(last.UpdateHiddenPct, "hidden_pct")
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationADCBits sweeps ADC resolution: energy per MVM rises with
+// resolution while accuracy improves (see crossbar tests for the accuracy
+// side).
+func BenchmarkAblationADCBits(b *testing.B) {
+	for _, bits := range []int{4, 6, 8, 10} {
+		b.Run(benchName("adc", bits), func(b *testing.B) {
+			cfg := crossbar.DefaultConfig()
+			cfg.Rows, cfg.Cols = 64, 64
+			cfg.ADCBits = bits
+			cfg.Functional = true
+			xb, err := crossbar.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			w := randomMatrix(rng, 64, 64)
+			if _, err := xb.Program(w); err != nil {
+				b.Fatal(err)
+			}
+			in := randomVector(rng, 64)
+			var cost energy.Cost
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, cost, err = xb.MVM(in, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost.EnergyPJ, "pJ/mvm")
+		})
+	}
+}
+
+// BenchmarkAblationCellBits sweeps bits-per-cell: fewer bits per cell means
+// more slice arrays (more parallel hardware, more energy).
+func BenchmarkAblationCellBits(b *testing.B) {
+	for _, bits := range []int{1, 2, 4} {
+		b.Run(benchName("cell", bits), func(b *testing.B) {
+			cfg := crossbar.DefaultConfig()
+			cfg.Rows, cfg.Cols = 64, 64
+			cfg.CellBits = bits
+			cfg.Functional = true
+			xb, err := crossbar.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			if _, err := xb.Program(randomMatrix(rng, 64, 64)); err != nil {
+				b.Fatal(err)
+			}
+			in := randomVector(rng, 64)
+			var cost energy.Cost
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, cost, err = xb.MVM(in, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost.EnergyPJ, "pJ/mvm")
+		})
+	}
+}
+
+// BenchmarkAblationEncryption measures the packet-encryption overhead of
+// the Section IV.A security model.
+func BenchmarkAblationEncryption(b *testing.B) {
+	p := &packet.Packet{
+		Type:    packet.TypeData,
+		Payload: randomVector(rand.New(rand.NewSource(1)), 128),
+	}
+	b.Run("plaintext", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Marshal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aes-gcm", func(b *testing.B) {
+		kr := security.NewKeyRing()
+		key, err := kr.Generate(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cost energy.Cost
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ct, c, err := security.Seal(p, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = c
+			if _, _, err := security.Open(ct, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cost.EnergyPJ, "pJ/seal")
+	})
+}
+
+// BenchmarkAblationWriteHiding compares reprogram latency with and without
+// write-asymmetry hiding.
+func BenchmarkAblationWriteHiding(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := nn.NewDense(256, 256, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := nn.NewNetwork("wh", d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hide := range []bool{false, true} {
+		name := "stall"
+		if hide {
+			name = "hidden"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := dpe.New(dpe.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Load(net); err != nil {
+				b.Fatal(err)
+			}
+			var cost energy.Cost
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cost, err = eng.Reprogram(net, hide)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cost.LatencyPS)/1e6, "us_simulated")
+		})
+	}
+}
+
+// BenchmarkAblationRedundancy measures failover cost against spare count.
+func BenchmarkAblationRedundancy(b *testing.B) {
+	b.Run("with-spare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lost := runFailover(b, true)
+			b.ReportMetric(lost, "worklost_pct")
+		}
+	})
+	b.Run("no-spare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lost := runFailover(b, false)
+			b.ReportMetric(lost, "worklost_pct")
+		}
+	})
+}
+
+func runFailover(b *testing.B, withSpare bool) float64 {
+	b.Helper()
+	fabric, err := NewFabric(DefaultFabricConfig(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := Address{Tile: 0}
+	mid := Address{Tile: 1}
+	spare := Address{Tile: 1, Unit: 1}
+	sink := Address{Tile: 2}
+	for _, a := range []Address{src, mid, spare, sink} {
+		if _, err := fabric.AddUnit(a, cim.KindCompute, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fabric.Connect(src, mid); err != nil {
+		b.Fatal(err)
+	}
+	if err := fabric.Connect(mid, sink); err != nil {
+		b.Fatal(err)
+	}
+	guard, err := fault.NewGuard(fabric, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withSpare {
+		if err := guard.AddSpare(mid, spare); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const streams = 16
+	for i := 0; i < streams; i++ {
+		if err := guard.StreamHeld(src, []float64{float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := guard.Fail(mid); err != nil {
+		b.Fatal(err)
+	}
+	out, err := fabric.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := len(out[sink])
+	return 100 * float64(streams-delivered) / streams
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkCrossbarMVMBitSerial(b *testing.B) {
+	cfg := crossbar.DefaultConfig()
+	xb, err := crossbar.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := xb.Program(randomMatrix(rng, 128, 128)); err != nil {
+		b.Fatal(err)
+	}
+	in := randomVector(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := xb.MVM(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossbarMVMFunctional(b *testing.B) {
+	cfg := crossbar.DefaultConfig()
+	cfg.Functional = true
+	xb, err := crossbar.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := xb.Program(randomMatrix(rng, 128, 128)); err != nil {
+		b.Fatal(err)
+	}
+	in := randomVector(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := xb.MVM(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPEInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := nn.NewMLP("bench", []int{256, 256, 10}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := dpe.New(dpe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Load(net); err != nil {
+		b.Fatal(err)
+	}
+	in := randomVector(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Infer(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataflowPipeline(b *testing.B) {
+	g := dataflow.NewGraph()
+	prev := dataflow.NodeID(-1)
+	var first dataflow.NodeID
+	for i := 0; i < 8; i++ {
+		id, err := g.AddNode("n", packet.Address{Unit: uint16(i)}, dataflow.ReLU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first = id
+		} else if err := g.Connect(prev, id); err != nil {
+			b.Fatal(err)
+		}
+		prev = id
+	}
+	eng, err := dataflow.NewEngine(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := randomVector(rand.New(rand.NewSource(1)), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Inject(first, in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := &packet.Packet{
+		Type:    packet.TypeData,
+		Payload: randomVector(rand.New(rand.NewSource(1)), 64),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := p.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h, err := vonneumann.NewHierarchy(vonneumann.DefaultHierarchy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i*64) % (64 << 20))
+	}
+}
+
+// --- helpers ---
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s-%d", prefix, v)
+}
+
+func randomMatrix(rng *rand.Rand, m, n int) [][]float64 {
+	w := make([][]float64, m)
+	for r := range w {
+		w[r] = make([]float64, n)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	return w
+}
+
+func randomVector(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// BenchmarkAblationDynamicRouting compares static placement (every stream
+// pinned to one unit) against dynamic load balancing under skewed demand.
+// The reported metric is the bottleneck unit's utilization — the completion
+// -time proxy for the fabric.
+func BenchmarkAblationDynamicRouting(b *testing.B) {
+	units := []packet.Address{{Tile: 0}, {Tile: 1}, {Tile: 2}, {Tile: 3}}
+	setup := func(b *testing.B, balance bool) float64 {
+		b.Helper()
+		bal, err := resource.NewBalancer(units, 1000, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Skewed offered load: stream rates follow a rough power law.
+		for i := uint32(0); i < 40; i++ {
+			rate := 100.0 / float64(1+i%7)
+			if _, err := bal.Assign(i, rate); err != nil {
+				b.Fatal(err)
+			}
+			if !balance {
+				if err := bal.Pin(i, units[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if balance {
+			bal.Rebalance()
+		}
+		return bal.Loads()[0].Utilization()
+	}
+	b.Run("static", func(b *testing.B) {
+		var u float64
+		for i := 0; i < b.N; i++ {
+			u = setup(b, false)
+		}
+		b.ReportMetric(u, "bottleneck_util")
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		var u float64
+		for i := 0; i < b.N; i++ {
+			u = setup(b, true)
+		}
+		b.ReportMetric(u, "bottleneck_util")
+	})
+}
+
+// BenchmarkAssociativeSearch measures TCAM longest-prefix match and
+// associative row-parallel arithmetic.
+func BenchmarkAssociativeSearch(b *testing.B) {
+	tc, err := NewTCAM(256, 32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for r := 0; r < 256; r++ {
+		prefix := uint64(rng.Uint32())
+		bits := 8 + rng.Intn(24)
+		mask := (^uint64(0) << (32 - bits)) & 0xFFFFFFFF
+		if err := tc.Store(r, prefix&mask, mask); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.LongestPrefixMatch(uint64(rng.Uint32()))
+	}
+}
+
+func BenchmarkAssociativeAdd(b *testing.B) {
+	ap, err := NewAssociativeProcessor(1024, 32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for r := 0; r < 1024; r++ {
+		if err := ap.Write(r, uint64(rng.Uint32())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ap.AddConstant(uint64(i))
+	}
+}
+
+// BenchmarkDPEBatchPipelined reports the pipelined throughput advantage.
+func BenchmarkDPEBatchPipelined(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := nn.NewMLP("bench", []int{128, 128, 10}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := dpe.New(dpe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Load(net); err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([][]float64, 32)
+	for i := range inputs {
+		inputs[i] = randomVector(rng, 128)
+	}
+	var batchCost energy.Cost
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, batchCost, err = eng.InferBatch(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batchCost.LatencyPS)/float64(len(inputs))/1000, "ns_sim_per_inf")
+}

@@ -1,0 +1,85 @@
+// Command cimasm assembles and disassembles CIM ISA programs: the binary
+// form is what program-carrying packets transport through the fabric
+// (self-programmable dataflow, Section III.B).
+//
+// Usage:
+//
+//	cimasm -asm program.casm -o program.bin     # assemble
+//	cimasm -dis program.bin                     # disassemble to stdout
+//	cimasm -check program.casm                  # validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cimrev/internal/isa"
+)
+
+func main() {
+	asmPath := flag.String("asm", "", "assembly source to assemble")
+	disPath := flag.String("dis", "", "binary program to disassemble")
+	checkPath := flag.String("check", "", "assembly source to validate")
+	out := flag.String("o", "", "output path for -asm (default: stdout as hex)")
+	flag.Parse()
+
+	if err := run(*asmPath, *disPath, *checkPath, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cimasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(asmPath, disPath, checkPath, out string) error {
+	switch {
+	case asmPath != "":
+		src, err := os.ReadFile(asmPath)
+		if err != nil {
+			return err
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		bin, err := prog.Encode()
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			fmt.Printf("%x\n", bin)
+			return nil
+		}
+		if err := os.WriteFile(out, bin, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("assembled %d instructions to %s (%d bytes)\n", len(prog), out, len(bin))
+		return nil
+
+	case disPath != "":
+		bin, err := os.ReadFile(disPath)
+		if err != nil {
+			return err
+		}
+		prog, err := isa.Decode(bin)
+		if err != nil {
+			return err
+		}
+		fmt.Print(prog.Disassemble())
+		return nil
+
+	case checkPath != "":
+		src, err := os.ReadFile(checkPath)
+		if err != nil {
+			return err
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d instructions, valid\n", checkPath, len(prog))
+		return nil
+
+	default:
+		return fmt.Errorf("one of -asm, -dis, or -check is required")
+	}
+}

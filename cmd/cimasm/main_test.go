@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleSrc = "configure 0/0/0 mvm\nloadweights 0/0/0 1 2 0.5,-0.5\nbarrier\nhalt\n"
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.casm")
+	if err := os.WriteFile(path, []byte(sampleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssembleDisassembleFiles(t *testing.T) {
+	src := writeSample(t)
+	bin := filepath.Join(t.TempDir(), "p.bin")
+	if err := run(src, "", "", bin); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if _, err := os.Stat(bin); err != nil {
+		t.Fatalf("binary missing: %v", err)
+	}
+	if err := run("", bin, "", ""); err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+}
+
+func TestAssembleToStdout(t *testing.T) {
+	src := writeSample(t)
+	if err := run(src, "", "", ""); err != nil {
+		t.Fatalf("assemble to stdout: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	src := writeSample(t)
+	if err := run("", "", src, ""); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", "", "", ""); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run("/nonexistent.casm", "", "", ""); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run("", "/nonexistent.bin", "", ""); err == nil {
+		t.Error("missing binary accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.casm")
+	if err := os.WriteFile(bad, []byte("bogus instruction\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", "", ""); err == nil {
+		t.Error("bad source assembled")
+	}
+	notBin := filepath.Join(t.TempDir(), "not.bin")
+	if err := os.WriteFile(notBin, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", notBin, "", ""); err == nil {
+		t.Error("garbage binary disassembled")
+	}
+}

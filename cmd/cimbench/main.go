@@ -1,0 +1,129 @@
+// Command cimbench regenerates every evaluation artifact of "Computing
+// In-Memory, Revisited": Fig 2, Table 1, Table 2, and the Section VI Dot
+// Product Engine results.
+//
+// Usage:
+//
+//	cimbench                  # run everything
+//	cimbench -exp fig2        # one experiment: fig2, table1, table2,
+//	                          # secvi, scale
+//	cimbench -sizes 512,4096  # layer sizes for the Section VI sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cimrev/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism")
+	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
+	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
+	flag.Parse()
+
+	if err := run(*exp, *sizes, *boards); err != nil {
+		fmt.Fprintln(os.Stderr, "cimbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, sizeList, boardList string) error {
+	sizes, err := parseInts(sizeList)
+	if err != nil {
+		return fmt.Errorf("parse -sizes: %w", err)
+	}
+	boards, err := parseInts(boardList)
+	if err != nil {
+		return fmt.Errorf("parse -boards: %w", err)
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig2") {
+		res, err := experiments.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("table1") {
+		res, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("table2") {
+		res, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("secvi") {
+		res, err := experiments.SecVI(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("scale") {
+		res, err := experiments.Scale(boards, 512, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("adc") {
+		res, err := experiments.ADCAblation([]int{2, 4, 6, 8, 10})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("noise") {
+		res, err := experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if want("parallelism") {
+		res, err := experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism)", exp)
+	}
+	return nil
+}
+
+func parseInts(list string) ([]int, error) {
+	parts := strings.Split(list, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", "64", "1"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("fig2", "bad", "1"); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run("fig2", "64", "bad"); err == nil {
+		t.Error("bad boards accepted")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The cheap experiments run end to end (output goes to stdout).
+	for _, exp := range []string{"fig2", "table1", "table2"} {
+		if err := run(exp, "64", "1"); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunSecVISmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("secvi", "64,128", "1"); err != nil {
+		t.Errorf("run(secvi): %v", err)
+	}
+	if err := run("scale", "64", "1,2"); err != nil {
+		t.Errorf("run(scale): %v", err)
+	}
+}

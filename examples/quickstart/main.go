@@ -1,0 +1,91 @@
+// Quickstart: build a Dot Product Engine, load a small MLP into its
+// memristor crossbars, run an inference, and compare the cost against the
+// CPU and GPU baselines — the Section VI experiment in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cimrev"
+	"cimrev/internal/vonneumann"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(42))
+
+	// A 256-128-10 classifier, weights held stationary in the arrays.
+	net, err := cimrev.NewMLP("quickstart", []int{256, 128, 10}, rng)
+	if err != nil {
+		return err
+	}
+
+	engine, err := cimrev.NewDPE(cimrev.DefaultDPEConfig())
+	if err != nil {
+		return err
+	}
+	programCost, err := engine.Load(net)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %q: %d params in %d crossbars, programmed in %v\n",
+		net.Name, net.Params(), engine.CrossbarCount(), programCost)
+
+	// One inference through the analog pipeline.
+	input := make([]float64, net.InSize())
+	for i := range input {
+		input[i] = math.Sin(float64(i) / 10)
+	}
+	out, inferCost, err := engine.Infer(input)
+	if err != nil {
+		return err
+	}
+	best := 0
+	for i := range out {
+		if out[i] > out[best] {
+			best = i
+		}
+	}
+	fmt.Printf("inference: class %d (p=%.3f) in %v\n", best, out[best], inferCost)
+
+	// Accuracy check against the software reference.
+	ref, err := net.Forward(input)
+	if err != nil {
+		return err
+	}
+	var maxErr float64
+	for i := range ref {
+		if d := math.Abs(out[i] - ref[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max deviation from float32 software reference: %.4f\n", maxErr)
+
+	// The same work on the Von Neumann baselines.
+	cpu := cimrev.CPU()
+	k := vonneumann.GEMV(256, 128, 4, 32<<20, false)
+	cpuCost, err := cpu.Run(k)
+	if err != nil {
+		return err
+	}
+	gpuCost, err := cimrev.GPU().Run(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-8s %14s %14s\n", "engine", "latency", "energy")
+	fmt.Printf("%-8s %14v %14v\n", "DPE", inferCost, "")
+	fmt.Printf("%-8s %14v\n", "CPU", cpuCost)
+	fmt.Printf("%-8s %14v\n", "GPU", gpuCost)
+	fmt.Printf("\nDPE vs CPU: %.0fx latency, %.0fx energy\n",
+		float64(cpuCost.LatencyPS)/float64(inferCost.LatencyPS),
+		cpuCost.EnergyPJ/inferCost.EnergyPJ)
+	return nil
+}

@@ -1,0 +1,3 @@
+module cimrev
+
+go 1.22

@@ -1,0 +1,267 @@
+package cimrev
+
+// Cross-subsystem integration tests: whole-system scenarios that thread
+// multiple packages together the way a deployment would.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cimrev/internal/cim"
+	"cimrev/internal/fault"
+	"cimrev/internal/isa"
+	"cimrev/internal/memristor"
+	"cimrev/internal/security"
+	"cimrev/internal/service"
+	"cimrev/internal/virt"
+)
+
+// TestIntegrationTenantIsolationWithQoS runs two tenants on one fabric:
+// partitioned pipelines, a bandwidth reservation for the paying tenant,
+// and a check that isolation blocks cross-tenant traffic while both
+// pipelines still compute correctly.
+func TestIntegrationTenantIsolationWithQoS(t *testing.T) {
+	reg := NewRegistry()
+	ledger := NewLedger()
+	fabric, err := NewFabric(DefaultFabricConfig(), ledger, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant A: tiles 0-1; tenant B: tiles 2-3. Each runs src -> relu.
+	type tenant struct {
+		src, fn Address
+	}
+	a := tenant{Address{Tile: 0}, Address{Tile: 1}}
+	b := tenant{Address{Tile: 2}, Address{Tile: 3}}
+	for _, tn := range []tenant{a, b} {
+		for _, u := range []Address{tn.src, tn.fn} {
+			if _, err := fabric.AddUnit(u, cim.KindCompute, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fabric.Configure(tn.fn, isa.FuncReLU, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := fabric.Connect(tn.src, tn.fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mgr, err := virt.NewManager(fabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CreatePartition("tenant-a", []Address{a.src, a.fn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CreatePartition("tenant-b", []Address{b.src, b.fn}); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant A pays for guaranteed bandwidth.
+	if err := mgr.ReserveBandwidth("tenant-a", 0.6); err != nil {
+		t.Fatal(err)
+	}
+
+	// Isolation: no cross-tenant traffic.
+	if err := mgr.CheckTraffic(a.src, b.fn); err == nil {
+		t.Error("cross-tenant traffic allowed")
+	}
+	if err := mgr.CheckTraffic(a.src, a.fn); err != nil {
+		t.Errorf("intra-tenant traffic blocked: %v", err)
+	}
+
+	// Both tenants compute concurrently on the shared fabric.
+	if err := fabric.Stream(a.src, []float64{-1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.Stream(b.src, []float64{3, -4}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fabric.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[a.fn]; len(got) != 1 || got[0][0] != 0 || got[0][1] != 2 {
+		t.Errorf("tenant A output = %v", got)
+	}
+	if got := out[b.fn]; len(got) != 1 || got[0][0] != 3 || got[0][1] != 0 {
+		t.Errorf("tenant B output = %v", got)
+	}
+
+	// Tear down tenant B; its units return to the free pool.
+	if err := mgr.DeletePartition("tenant-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CheckTraffic(a.src, b.fn); err == nil {
+		t.Error("traffic to freed units should still be blocked (A is partitioned)")
+	}
+}
+
+// TestIntegrationSecureInferenceService threads security + DPE: encrypted
+// requests are opened and inspected at the boundary, authorized by
+// capability, executed on crossbars, and the response is sealed again.
+func TestIntegrationSecureInferenceService(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewMLP("svc", []int{8, 16, 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewDPE(DefaultDPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Load(net); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := security.NewKeyRing()
+	key, err := keys.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inspector := security.NewInspector(security.Policy{MaxPayload: 64})
+	auth, err := security.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap1, err := auth.Mint(0, 0, 3, security.RightExecute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client side: seal the request.
+	req := &Packet{Dst: Address{Tile: 1}, Stream: 42, Type: 1, Payload: []float64{1, -1, 0.5, 0, 0.25, -0.5, 1, 0}}
+	ct, _, err := security.Seal(req, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Service side: open, inspect, authorize, execute, seal response.
+	got, _, err := security.Open(ct, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inspector.Inspect(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Authorize(cap1, got.Dst, security.RightExecute); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := engine.Infer(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &Packet{Src: got.Dst, Dst: got.Src, Stream: got.Stream, Type: 1, Payload: out}
+	respCT, _, err := security.Seal(resp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client decrypts and checks the result against software.
+	plain, _, err := security.Open(respCT, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.Forward(req.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(plain.Payload[i]-want[i]) > 0.1 {
+			t.Errorf("out[%d] = %g, want ~%g", i, plain.Payload[i], want[i])
+		}
+	}
+
+	// A request outside the capability's tile range is refused.
+	if err := auth.Authorize(cap1, Address{Tile: 9}, security.RightExecute); err == nil {
+		t.Error("out-of-range request authorized")
+	}
+}
+
+// TestIntegrationSelfHealingPipeline combines wear monitoring, proactive
+// healing, and continued operation: a crossbar pipeline keeps serving
+// inference while the healer retires its worn stage to a spare.
+func TestIntegrationSelfHealingPipeline(t *testing.T) {
+	cfg := DefaultFabricConfig()
+	cfg.Crossbar.Rows, cfg.Crossbar.Cols = 8, 8
+	reg := NewRegistry()
+	fabric, err := NewFabric(cfg, NewLedger(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Address{Tile: 0}
+	mvm := Address{Tile: 1}
+	spare := Address{Tile: 1, Unit: 1}
+	sink := Address{Tile: 2}
+	if _, err := fabric.AddUnit(src, cim.KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fabric.AddUnit(sink, cim.KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := [][]float64{{1, 0}, {0, 1}}
+	for _, u := range []Address{mvm, spare} {
+		if _, err := fabric.AddUnit(u, cim.KindCrossbar, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := fabric.Configure(u, isa.FuncMVM, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fabric.Connect(src, mvm); err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.Connect(mvm, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age the primary with repeated weight updates.
+	for i := 0; i < 30; i++ {
+		if _, err := fabric.Reprogram(mvm, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	guard, err := fault.NewGuard(fabric, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guard.AddSpare(mvm, spare); err != nil {
+		t.Fatal(err)
+	}
+	params := memristor.DefaultParams()
+	params.Endurance = 10
+	mon, err := service.NewMonitor(fabric, params, 0.8, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healer, err := service.NewHealer(mon, guard, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retired, err := healer.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 1 || retired[0] != mvm {
+		t.Fatalf("healer retired %v, want [%v]", retired, mvm)
+	}
+
+	// The pipeline still serves through the spare.
+	if err := fabric.Stream(src, []float64{0.5, -0.25}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fabric.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[sink]
+	if len(res) != 1 {
+		t.Fatalf("results after healing = %d", len(res))
+	}
+	if math.Abs(res[0][0]-0.5) > 0.1 || math.Abs(res[0][1]+0.25) > 0.1 {
+		t.Errorf("post-healing output = %v, want ~[0.5 -0.25]", res[0])
+	}
+}

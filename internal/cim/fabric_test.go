@@ -1,0 +1,585 @@
+package cim
+
+import (
+	"math"
+	"testing"
+
+	"cimrev/internal/dataflow"
+	"cimrev/internal/energy"
+	"cimrev/internal/isa"
+	"cimrev/internal/metrics"
+	"cimrev/internal/packet"
+)
+
+func addr(tile, unit uint16) packet.Address { return packet.Address{Tile: tile, Unit: unit} }
+
+func newFabric(t *testing.T) (*Fabric, *energy.Ledger) {
+	t.Helper()
+	led := energy.NewLedger()
+	cfg := DefaultConfig()
+	cfg.Crossbar.Rows, cfg.Crossbar.Cols = 16, 16
+	f, err := NewFabric(cfg, led, metrics.NewRegistry())
+	if err != nil {
+		t.Fatalf("NewFabric: %v", err)
+	}
+	return f, led
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	cfg.MeshW = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero mesh width accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.LinkBandwidth = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxSteps = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero max steps accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Crossbar.Rows = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad crossbar config accepted")
+	}
+}
+
+func TestAddUnitValidation(t *testing.T) {
+	f, _ := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddUnit(addr(0, 0), KindCompute, 1); err == nil {
+		t.Error("duplicate unit accepted")
+	}
+	if _, err := f.AddUnit(addr(99, 0), KindCompute, 1); err == nil {
+		t.Error("tile outside mesh accepted")
+	}
+	if _, err := f.AddUnit(addr(0, 1), KindCompute, 0); err == nil {
+		t.Error("zero micro-units accepted")
+	}
+	if _, err := f.AddUnit(addr(0, 2), UnitKind(9), 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	other := packet.Address{Board: 3, Tile: 0, Unit: 5}
+	if _, err := f.AddUnit(other, KindCompute, 1); err == nil {
+		t.Error("wrong board accepted")
+	}
+	if _, err := f.Unit(addr(9, 9)); err == nil {
+		t.Error("missing unit lookup succeeded")
+	}
+}
+
+func TestUnitsSorted(t *testing.T) {
+	f, _ := newFabric(t)
+	for _, a := range []packet.Address{addr(2, 0), addr(0, 1), addr(0, 0)} {
+		if _, err := f.AddUnit(a, KindCompute, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	us := f.Units()
+	if len(us) != 3 {
+		t.Fatalf("Units = %d, want 3", len(us))
+	}
+	if us[0].Addr != addr(0, 0) || us[1].Addr != addr(0, 1) || us[2].Addr != addr(2, 0) {
+		t.Errorf("units out of order: %v %v %v", us[0].Addr, us[1].Addr, us[2].Addr)
+	}
+}
+
+func TestFabricMVMPipeline(t *testing.T) {
+	f, led := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCrossbar, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddUnit(addr(1, 0), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	w := [][]float64{{1, 0}, {0, 1}, {0.5, -0.5}} // 3 inputs -> 2 outputs
+	if err := f.Configure(addr(0, 0), isa.FuncMVM, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(addr(1, 0), isa.FuncReLU, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(addr(0, 0), addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Stream(addr(0, 0), []float64{1, -1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[addr(1, 0)]
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	// Ideal: [1*1 + 0*-1 + 0.5*0.5, 0 - 1 - 0.25] = [1.25, -1.25];
+	// ReLU -> [1.25, 0]. Allow crossbar quantization slack.
+	if math.Abs(res[0][0]-1.25) > 0.15 {
+		t.Errorf("out[0] = %g, want ~1.25", res[0][0])
+	}
+	if res[0][1] != 0 {
+		t.Errorf("out[1] = %g, want 0 (ReLU clamp)", res[0][1])
+	}
+
+	if led.Category("program").LatencyPS == 0 {
+		t.Error("no programming cost charged")
+	}
+	if led.Category("compute").EnergyPJ == 0 {
+		t.Error("no compute cost charged")
+	}
+	if led.Category("network").EnergyPJ == 0 {
+		t.Error("no network cost charged")
+	}
+
+	u, err := f.Unit(addr(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MVMs() != 1 {
+		t.Errorf("MVMs = %d, want 1", u.MVMs())
+	}
+	if u.Writes() == 0 {
+		t.Error("crossbar writes not tracked")
+	}
+	if r, c := u.CrossbarShape(); r != 3 || c != 2 {
+		t.Errorf("CrossbarShape = %dx%d, want 3x2", r, c)
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	f, _ := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(addr(9, 9), isa.FuncReLU, nil); err == nil {
+		t.Error("configure of missing unit accepted")
+	}
+	if err := f.Configure(addr(0, 0), isa.FuncMVM, [][]float64{{1}}); err == nil {
+		t.Error("MVM on compute unit accepted")
+	}
+	if _, err := f.AddUnit(addr(0, 1), KindCrossbar, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(addr(0, 1), isa.FuncMVM, nil); err == nil {
+		t.Error("MVM without weights accepted")
+	}
+}
+
+func TestReprogramWriteAsymmetry(t *testing.T) {
+	f, _ := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCrossbar, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := [][]float64{{1, 0}, {0, 1}}
+	if err := f.Configure(addr(0, 0), isa.FuncMVM, w); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := f.Reprogram(addr(0, 0), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LatencyPS < energy.CrossbarWriteLatencyPS {
+		t.Errorf("reprogram latency %d below one write", cost.LatencyPS)
+	}
+	// Reprogramming a non-crossbar unit fails.
+	if _, err := f.AddUnit(addr(0, 1), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Reprogram(addr(0, 1), w); err == nil {
+		t.Error("reprogram of compute unit accepted")
+	}
+}
+
+func TestLoadProgramStaticDataflow(t *testing.T) {
+	f, _ := newFabric(t)
+	for _, a := range []packet.Address{addr(0, 0), addr(1, 0)} {
+		kind := KindCrossbar
+		if a.Tile == 1 {
+			kind = KindCompute
+		}
+		if _, err := f.AddUnit(a, kind, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog := isa.Program{
+		{Op: isa.OpLoadWeights, Unit: addr(0, 0), Rows: 2, Cols: 2, Data: []float64{1, 0, 0, 1}},
+		{Op: isa.OpConfigure, Unit: addr(0, 0), Fn: isa.FuncMVM},
+		{Op: isa.OpConfigure, Unit: addr(1, 0), Fn: isa.FuncSigmoid},
+		{Op: isa.OpConnect, Unit: addr(0, 0), Unit2: addr(1, 0)},
+		{Op: isa.OpStream, Unit: addr(0, 0), Data: []float64{1, -1}},
+		{Op: isa.OpHalt},
+	}
+	if err := f.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[addr(1, 0)]
+	if len(res) != 1 || len(res[0]) != 2 {
+		t.Fatalf("unexpected results %v", res)
+	}
+	// sigmoid(~1) ~ 0.73, sigmoid(~-1) ~ 0.27
+	if math.Abs(res[0][0]-0.73) > 0.05 || math.Abs(res[0][1]-0.27) > 0.05 {
+		t.Errorf("sigmoid outputs = %v, want ~[0.73 0.27]", res[0])
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	f, _ := newFabric(t)
+	if err := f.LoadProgram(isa.Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+	prog := isa.Program{
+		{Op: isa.OpConfigure, Unit: addr(5, 5), Fn: isa.FuncReLU},
+		{Op: isa.OpHalt},
+	}
+	if err := f.LoadProgram(prog); err == nil {
+		t.Error("program for missing unit accepted")
+	}
+}
+
+func TestSelfProgrammingWithCrossbarHardware(t *testing.T) {
+	// A program packet configures an MVM unit: the fabric's func factory
+	// must provision real crossbar hardware (dataflow alone cannot).
+	f, _ := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCrossbar, 1); err != nil {
+		t.Fatal(err)
+	}
+	prog := isa.Program{
+		{Op: isa.OpLoadWeights, Unit: addr(0, 0), Rows: 2, Cols: 1, Data: []float64{1, 1}},
+		{Op: isa.OpConfigure, Unit: addr(0, 0), Fn: isa.FuncMVM},
+		{Op: isa.OpStream, Unit: addr(0, 0), Data: []float64{0.5, 0.25}},
+		{Op: isa.OpHalt},
+	}
+	code, err := prog.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InjectPacket(&packet.Packet{Dst: addr(0, 0), Type: packet.TypeProgram, Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[addr(0, 0)]
+	if len(res) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	if math.Abs(res[0][0]-0.75) > 0.1 {
+		t.Errorf("self-programmed MVM = %g, want ~0.75", res[0][0])
+	}
+}
+
+func TestDisableUnitContainment(t *testing.T) {
+	f, _ := newFabric(t)
+	for i := uint16(0); i < 3; i++ {
+		if _, err := f.AddUnit(addr(i, 0), KindCompute, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect(addr(0, 0), addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(addr(1, 0), addr(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DisableUnit(addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DisableUnit(addr(1, 0)); err == nil {
+		t.Error("double disable accepted")
+	}
+	u, err := f.Unit(addr(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Failed() {
+		t.Error("unit not marked failed")
+	}
+	// Stream into the failed unit is rejected; stream through it is
+	// contained (no output at the far side).
+	if err := f.Stream(addr(1, 0), []float64{1}); err == nil {
+		t.Error("stream into failed unit accepted")
+	}
+	if err := f.Stream(addr(0, 0), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[addr(2, 0)]) != 0 {
+		t.Error("data crossed a failed unit")
+	}
+}
+
+func TestDynamicRouterOnFabric(t *testing.T) {
+	f, _ := newFabric(t)
+	for i := uint16(0); i < 3; i++ {
+		if _, err := f.AddUnit(addr(i, 0), KindCompute, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot, err := f.NodeID(addr(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := f.NodeID(addr(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.SetRouter(addr(0, 0), func(_ *dataflow.State, p *packet.Packet) []dataflow.NodeID {
+		if p.Payload[0] > 0 {
+			return []dataflow.NodeID{hot}
+		}
+		return []dataflow.NodeID{cold}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stream(addr(0, 0), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stream(addr(0, 0), []float64{-1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[addr(1, 0)]) != 1 || len(out[addr(2, 0)]) != 1 {
+		t.Errorf("dynamic routing split wrong: %v", out)
+	}
+}
+
+func TestEdgeCostDistanceSensitivity(t *testing.T) {
+	// Transfers between distant tiles must cost more latency than
+	// same-tile transfers.
+	f, led := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddUnit(addr(15, 0), KindCompute, 1); err != nil { // far corner of 4x4
+		t.Fatal(err)
+	}
+	if err := f.Connect(addr(0, 0), addr(15, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stream(addr(0, 0), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	farNet := led.Category("network").LatencyPS
+
+	led.Reset()
+	f2, led2 := newFabric(t)
+	if _, err := f2.AddUnit(addr(0, 0), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.AddUnit(addr(0, 1), KindCompute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Connect(addr(0, 0), addr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Stream(addr(0, 0), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nearNet := led2.Category("network").LatencyPS
+	if farNet <= nearNet {
+		t.Errorf("far transfer %d ps should exceed same-tile %d ps", farNet, nearNet)
+	}
+}
+
+func TestFabricMakespan(t *testing.T) {
+	// Two independent pipelines on distinct units overlap: fabric makespan
+	// stays near one pipeline's latency, not the sum.
+	f, _ := newFabric(t)
+	for tile := uint16(0); tile < 4; tile++ {
+		if _, err := f.AddUnit(addr(tile, 0), KindCompute, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect(addr(0, 0), addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(addr(2, 0), addr(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stream(addr(0, 0), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	single := f.Makespan()
+	if single <= 0 {
+		t.Fatal("zero makespan")
+	}
+
+	if err := f.Stream(addr(0, 0), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stream(addr(2, 0), []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	both := f.Makespan()
+	if both >= 2*single {
+		t.Errorf("independent pipelines serialized: %d vs 2x%d", both, single)
+	}
+}
+
+func TestFabricTopologyIntrospection(t *testing.T) {
+	f, led := newFabric(t)
+	a, b, c := addr(0, 0), addr(1, 0), addr(2, 0)
+	for _, u := range []packet.Address{a, b, c} {
+		if _, err := f.AddUnit(u, KindCompute, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(b, c); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := f.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if edges[0].From != a || edges[0].To != b {
+		t.Errorf("first edge = %v", edges[0])
+	}
+
+	preds, err := f.Predecessors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 || preds[0] != a {
+		t.Errorf("Predecessors(b) = %v", preds)
+	}
+	succs, err := f.Successors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succs) != 1 || succs[0] != c {
+		t.Errorf("Successors(b) = %v", succs)
+	}
+	if _, err := f.Predecessors(addr(9, 9)); err == nil {
+		t.Error("predecessors of missing unit succeeded")
+	}
+	if _, err := f.Successors(addr(9, 9)); err == nil {
+		t.Error("successors of missing unit succeeded")
+	}
+
+	if err := f.Disconnect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Edges()) != 1 {
+		t.Error("Disconnect did not remove the edge")
+	}
+	if err := f.Disconnect(a, b); err == nil {
+		t.Error("double disconnect accepted")
+	}
+	if err := f.Disconnect(addr(9, 9), b); err == nil {
+		t.Error("disconnect from missing unit accepted")
+	}
+	if err := f.Connect(addr(9, 9), b); err == nil {
+		t.Error("connect from missing unit accepted")
+	}
+	if err := f.Connect(a, addr(9, 9)); err == nil {
+		t.Error("connect to missing unit accepted")
+	}
+
+	// Accessors.
+	if f.Config().MeshW != 4 {
+		t.Error("Config accessor wrong")
+	}
+	if f.Mesh() == nil {
+		t.Error("Mesh accessor nil")
+	}
+	if f.Ledger() != led {
+		t.Error("Ledger accessor wrong")
+	}
+}
+
+func TestUnitKindStringsAndAccessors(t *testing.T) {
+	for k, want := range map[UnitKind]string{
+		KindCompute: "compute", KindCrossbar: "crossbar", KindControl: "control",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("UnitKind(%d) = %q, want %q", k, got, want)
+		}
+	}
+	if got := UnitKind(42).String(); got != "kind(42)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+
+	f, _ := newFabric(t)
+	u, err := f.AddUnit(addr(0, 0), KindCompute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Function() != isa.FuncForward {
+		t.Errorf("fresh unit function = %v, want forward", u.Function())
+	}
+	if u.Writes() != 0 {
+		t.Error("digital unit has writes")
+	}
+	if r, c := u.CrossbarShape(); r != 0 || c != 0 {
+		t.Error("digital unit has crossbar shape")
+	}
+	if err := f.Configure(addr(0, 0), isa.FuncSigmoid, nil); err != nil {
+		t.Fatal(err)
+	}
+	if u.Function() != isa.FuncSigmoid {
+		t.Errorf("configured function = %v", u.Function())
+	}
+}
+
+func TestSelfProgrammingMVMWithoutWeights(t *testing.T) {
+	// The fabric func factory rejects an MVM configure that never received
+	// loadweights.
+	f, _ := newFabric(t)
+	if _, err := f.AddUnit(addr(0, 0), KindCrossbar, 1); err != nil {
+		t.Fatal(err)
+	}
+	prog := isa.Program{
+		{Op: isa.OpConfigure, Unit: addr(0, 0), Fn: isa.FuncMVM},
+		{Op: isa.OpHalt},
+	}
+	code, err := prog.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InjectPacket(&packet.Packet{Dst: addr(0, 0), Type: packet.TypeProgram, Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err == nil {
+		t.Error("MVM without weights accepted via program packet")
+	}
+}

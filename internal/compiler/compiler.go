@@ -1,0 +1,190 @@
+// Package compiler maps neural networks onto CIM fabrics — the software
+// layer Section III.D calls for: "Compilers will further need to understand
+// the architecture across micro-units and across tiles: data locality and
+// how data is streamed across micro-units and across tiles; how graphs are
+// built and mapped to physical units."
+//
+// The compiler lowers an nn.Network to a placement of units on a board
+// mesh, assigning dense layers to crossbar units and activations to digital
+// compute units, placing consecutive layers on mesh-adjacent tiles so
+// stream traffic stays local. A Plan can be applied directly to a fabric or
+// serialized to an ISA program (for tooling and program-carrying packets).
+package compiler
+
+import (
+	"fmt"
+
+	"cimrev/internal/cim"
+	"cimrev/internal/isa"
+	"cimrev/internal/nn"
+	"cimrev/internal/packet"
+)
+
+// Placement records where one layer landed.
+type Placement struct {
+	// LayerIndex is the layer's position in the network.
+	LayerIndex int
+	// LayerName names the layer.
+	LayerName string
+	// Addr is the assigned unit address.
+	Addr packet.Address
+	// Kind is the unit hardware class.
+	Kind cim.UnitKind
+	// Fn is the configured ISA function.
+	Fn isa.Function
+	// Weights is the in x out matrix for MVM placements (nil otherwise).
+	Weights [][]float64
+}
+
+// Plan is a compiled network: an ordered pipeline of placements.
+type Plan struct {
+	// NetworkName labels the source network.
+	NetworkName string
+	// Placements are in pipeline order.
+	Placements []Placement
+	// InputAddr receives inference inputs.
+	InputAddr packet.Address
+	// OutputAddr is the final pipeline stage (the sink where results
+	// appear).
+	OutputAddr packet.Address
+}
+
+// CrossbarUnits returns how many crossbar units the plan uses.
+func (p *Plan) CrossbarUnits() int {
+	var n int
+	for _, pl := range p.Placements {
+		if pl.Kind == cim.KindCrossbar {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile lowers net onto a board described by cfg. Supported layers:
+// Dense (crossbar MVM) and ActivationLayer (digital). Convolutional
+// networks are executed by the DPE engine's layer orchestrator instead of
+// being flattened to a static pipeline; Compile rejects them.
+func Compile(net *nn.Network, cfg cim.Config) (*Plan, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, fmt.Errorf("compiler: empty network")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tiles := cfg.MeshW * cfg.MeshH
+	plan := &Plan{NetworkName: net.Name}
+	unitOnTile := make(map[int]uint16, tiles)
+	for i, layer := range net.Layers {
+		// Consecutive layers land on consecutive tiles (wrapping), so a
+		// pipeline stage's successor is one mesh hop away row-major.
+		tile := i % tiles
+		unit := unitOnTile[tile]
+		unitOnTile[tile] = unit + 1
+		addr := packet.Address{Board: cfg.Board, Tile: uint16(tile), Unit: unit}
+
+		var pl Placement
+		switch l := layer.(type) {
+		case *nn.Dense:
+			pl = Placement{
+				LayerIndex: i, LayerName: l.Name(), Addr: addr,
+				Kind: cim.KindCrossbar, Fn: isa.FuncMVM, Weights: l.WeightMatrix(),
+			}
+		case *nn.ActivationLayer:
+			fn, err := activationFunc(l.Kind())
+			if err != nil {
+				return nil, fmt.Errorf("compiler: layer %d: %w", i, err)
+			}
+			pl = Placement{
+				LayerIndex: i, LayerName: l.Name(), Addr: addr,
+				Kind: cim.KindCompute, Fn: fn,
+			}
+		default:
+			return nil, fmt.Errorf("compiler: layer %d (%s) is not supported in a static pipeline; use the DPE engine", i, layer.Name())
+		}
+		plan.Placements = append(plan.Placements, pl)
+	}
+	plan.InputAddr = plan.Placements[0].Addr
+	plan.OutputAddr = plan.Placements[len(plan.Placements)-1].Addr
+	return plan, nil
+}
+
+func activationFunc(a nn.Activation) (isa.Function, error) {
+	switch a {
+	case nn.ActReLU:
+		return isa.FuncReLU, nil
+	case nn.ActSigmoid:
+		return isa.FuncSigmoid, nil
+	case nn.ActTanh:
+		return isa.FuncTanh, nil
+	case nn.ActSoftmax:
+		return isa.FuncSoftmax, nil
+	default:
+		return 0, fmt.Errorf("compiler: unknown activation %v", a)
+	}
+}
+
+// Apply instantiates the plan on a fabric: creates units, programs
+// crossbars, and wires the pipeline.
+func Apply(plan *Plan, fabric *cim.Fabric) error {
+	if plan == nil || len(plan.Placements) == 0 {
+		return fmt.Errorf("compiler: empty plan")
+	}
+	for _, pl := range plan.Placements {
+		microUnits := 1
+		if pl.Kind == cim.KindCrossbar {
+			microUnits = 4
+		}
+		if _, err := fabric.AddUnit(pl.Addr, pl.Kind, microUnits); err != nil {
+			return fmt.Errorf("compiler: place %s: %w", pl.LayerName, err)
+		}
+		if err := fabric.Configure(pl.Addr, pl.Fn, pl.Weights); err != nil {
+			return fmt.Errorf("compiler: configure %s: %w", pl.LayerName, err)
+		}
+	}
+	for i := 1; i < len(plan.Placements); i++ {
+		src := plan.Placements[i-1].Addr
+		dst := plan.Placements[i].Addr
+		if err := fabric.Connect(src, dst); err != nil {
+			return fmt.Errorf("compiler: connect stage %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Program serializes the plan to an ISA program (weights inline), suitable
+// for cimasm tooling or program-carrying packets.
+func (p *Plan) Program() (isa.Program, error) {
+	if len(p.Placements) == 0 {
+		return nil, fmt.Errorf("compiler: empty plan")
+	}
+	var prog isa.Program
+	for _, pl := range p.Placements {
+		if pl.Fn == isa.FuncMVM {
+			rows := len(pl.Weights)
+			if rows == 0 {
+				return nil, fmt.Errorf("compiler: MVM placement %s without weights", pl.LayerName)
+			}
+			cols := len(pl.Weights[0])
+			data := make([]float64, 0, rows*cols)
+			for _, row := range pl.Weights {
+				data = append(data, row...)
+			}
+			prog = append(prog, isa.Instruction{
+				Op: isa.OpLoadWeights, Unit: pl.Addr, Rows: rows, Cols: cols, Data: data,
+			})
+		}
+		prog = append(prog, isa.Instruction{Op: isa.OpConfigure, Unit: pl.Addr, Fn: pl.Fn})
+	}
+	for i := 1; i < len(p.Placements); i++ {
+		prog = append(prog, isa.Instruction{
+			Op:    isa.OpConnect,
+			Unit:  p.Placements[i-1].Addr,
+			Unit2: p.Placements[i].Addr,
+		})
+	}
+	prog = append(prog, isa.Instruction{Op: isa.OpHalt})
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

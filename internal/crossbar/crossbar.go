@@ -1,0 +1,388 @@
+// Package crossbar models memristive crossbar arrays computing analog
+// matrix-vector multiplication (MVM) in place — the computational primitive
+// behind the paper's Dot Product Engine (Section VI) and its ISAAC ancestor
+// [49].
+//
+// The model is honest about the analog pipeline:
+//
+//   - Weights are quantized to WeightBits and bit-sliced across multiple
+//     physical arrays holding CellBits each (ISAAC stores 2 bits/cell).
+//   - Inputs are quantized to InputBits and streamed one bit per array
+//     cycle through 1-bit DACs.
+//   - Each cycle, every active column's analog current sum is digitized by
+//     an ADC with ADCBits resolution, which clips and quantizes.
+//   - Gaussian read noise perturbs each analog column sum.
+//   - Partial sums merge digitally with shift-and-add.
+//
+// Signed values use shift encoding: w01 = (w+1)/2 on the array, with the
+// digital backend removing the offset using stored column sums. This is the
+// standard trick for unipolar conductances and lets one array serve signed
+// arithmetic.
+//
+// Costs follow the constants in internal/energy. Programming (weight
+// updates) is three orders of magnitude slower than reading — the write
+// asymmetry Section VI names as the main scaling challenge.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cimrev/internal/energy"
+)
+
+// Config describes one logical crossbar: a stack of bit-slice arrays plus
+// converter resolutions.
+type Config struct {
+	// Rows and Cols are the physical array dimensions.
+	Rows, Cols int
+	// CellBits is the number of weight bits stored per cell.
+	CellBits int
+	// WeightBits is the total weight resolution; must be a multiple of
+	// CellBits. WeightBits/CellBits physical arrays form one logical
+	// crossbar.
+	WeightBits int
+	// InputBits is the DAC input resolution; inputs stream one bit per
+	// cycle.
+	InputBits int
+	// ADCBits is the column ADC resolution.
+	ADCBits int
+	// ReadNoise is the relative std-dev of analog column-sum noise.
+	ReadNoise float64
+	// Functional selects the fast functional-simulation mode: the MVM
+	// result is computed from exact integer arithmetic (no per-cycle ADC
+	// quantization or noise) while the cost model stays identical. Large
+	// benchmark sweeps use it; accuracy studies keep the default
+	// bit-serial mode.
+	Functional bool
+}
+
+// DefaultConfig returns the ISAAC-scale configuration: 128x128 arrays,
+// 2-bit cells, 8-bit weights (4 slices), 8-bit inputs, 8-bit ADCs.
+func DefaultConfig() Config {
+	return Config{
+		Rows:       128,
+		Cols:       128,
+		CellBits:   2,
+		WeightBits: 8,
+		InputBits:  8,
+		ADCBits:    8,
+		ReadNoise:  0.0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("crossbar: dimensions must be positive, got %dx%d", c.Rows, c.Cols)
+	case c.CellBits < 1 || c.CellBits > 8:
+		return fmt.Errorf("crossbar: CellBits must be in [1,8], got %d", c.CellBits)
+	case c.WeightBits < c.CellBits || c.WeightBits%c.CellBits != 0:
+		return fmt.Errorf("crossbar: WeightBits (%d) must be a positive multiple of CellBits (%d)", c.WeightBits, c.CellBits)
+	case c.WeightBits > 16:
+		return fmt.Errorf("crossbar: WeightBits must be <= 16, got %d", c.WeightBits)
+	case c.InputBits < 1 || c.InputBits > 16:
+		return fmt.Errorf("crossbar: InputBits must be in [1,16], got %d", c.InputBits)
+	case c.ADCBits < 1 || c.ADCBits > 16:
+		return fmt.Errorf("crossbar: ADCBits must be in [1,16], got %d", c.ADCBits)
+	case c.ReadNoise < 0:
+		return fmt.Errorf("crossbar: ReadNoise must be non-negative, got %g", c.ReadNoise)
+	}
+	return nil
+}
+
+// slices returns the number of physical bit-slice arrays.
+func (c Config) slices() int { return c.WeightBits / c.CellBits }
+
+// Crossbar is one logical crossbar: slices() physical arrays of Rows x Cols
+// cells. Not safe for concurrent use.
+type Crossbar struct {
+	cfg Config
+
+	// sliceLevels[s][r*Cols+c] holds the CellBits-wide slice s of the
+	// shifted, quantized weight at (r, c).
+	sliceLevels [][]uint8
+
+	// colSumInt[c] is the column sum of integer weights, stored at program
+	// time for digital offset removal.
+	colSumInt []int64
+
+	// usedRows and usedCols are the programmed submatrix dimensions.
+	usedRows, usedCols int
+
+	// wScale restores programmed weights to their original range.
+	wScale float64
+
+	// writes counts cell programming operations (wear).
+	writes int64
+
+	programmed bool
+}
+
+// New returns an unprogrammed crossbar.
+func New(cfg Config) (*Crossbar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Rows * cfg.Cols
+	sl := make([][]uint8, cfg.slices())
+	for i := range sl {
+		sl[i] = make([]uint8, n)
+	}
+	return &Crossbar{
+		cfg:         cfg,
+		sliceLevels: sl,
+		colSumInt:   make([]int64, cfg.Cols),
+	}, nil
+}
+
+// Config returns the crossbar configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// Programmed reports whether weights have been loaded.
+func (x *Crossbar) Programmed() bool { return x.programmed }
+
+// UsedShape returns the programmed submatrix dimensions (rows, cols).
+func (x *Crossbar) UsedShape() (int, int) { return x.usedRows, x.usedCols }
+
+// Writes returns the total cell-programming count (wear indicator).
+func (x *Crossbar) Writes() int64 { return x.writes }
+
+// WeightScale returns the scale factor that maps stored normalized weights
+// back to the caller's range.
+func (x *Crossbar) WeightScale() float64 { return x.wScale }
+
+// Program loads the weight matrix w (w[r][c], at most Rows x Cols). Weights
+// may be any finite values; the crossbar normalizes by max |w|. It returns
+// the programming cost: rows are written in parallel across columns but
+// serially row by row and slice stacks in parallel, so latency is
+// usedRows x write-latency, and energy covers every programmed cell.
+func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
+	if len(w) == 0 || len(w) > x.cfg.Rows {
+		return energy.Zero, fmt.Errorf("crossbar: weight rows %d outside [1,%d]", len(w), x.cfg.Rows)
+	}
+	cols := len(w[0])
+	if cols == 0 || cols > x.cfg.Cols {
+		return energy.Zero, fmt.Errorf("crossbar: weight cols %d outside [1,%d]", cols, x.cfg.Cols)
+	}
+	wScale := 0.0
+	for r, row := range w {
+		if len(row) != cols {
+			return energy.Zero, fmt.Errorf("crossbar: ragged weight matrix at row %d (%d != %d)", r, len(row), cols)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return energy.Zero, fmt.Errorf("crossbar: non-finite weight at row %d", r)
+			}
+			if a := math.Abs(v); a > wScale {
+				wScale = a
+			}
+		}
+	}
+	if wScale == 0 {
+		wScale = 1 // all-zero matrix programs cleanly
+	}
+
+	wMax := float64(int(1)<<x.cfg.WeightBits - 1)
+	cellMask := uint8(1<<x.cfg.CellBits - 1)
+	for i := range x.colSumInt {
+		x.colSumInt[i] = 0
+	}
+	for _, sl := range x.sliceLevels {
+		for i := range sl {
+			sl[i] = 0
+		}
+	}
+	for r := 0; r < len(w); r++ {
+		for c := 0; c < cols; c++ {
+			w01 := (w[r][c]/wScale + 1) / 2 // shift encode into [0,1]
+			wInt := int(math.Round(w01 * wMax))
+			x.colSumInt[c] += int64(wInt)
+			for s := 0; s < x.cfg.slices(); s++ {
+				shift := uint(s * x.cfg.CellBits)
+				x.sliceLevels[s][r*x.cfg.Cols+c] = uint8(wInt>>shift) & cellMask
+			}
+		}
+	}
+	x.usedRows, x.usedCols = len(w), cols
+	x.wScale = wScale
+	x.programmed = true
+
+	cells := int64(len(w)) * int64(cols) * int64(x.cfg.slices())
+	x.writes += cells
+	return energy.Cost{
+		LatencyPS: int64(len(w)) * energy.CrossbarWriteLatencyPS,
+		EnergyPJ:  float64(cells) * energy.CrossbarWriteEnergyPJ,
+	}, nil
+}
+
+// MVM computes y = W · input over the programmed submatrix through the full
+// analog pipeline. input must have usedRows elements; the result has
+// usedCols. rng supplies analog read noise and may be nil when ReadNoise is
+// zero.
+func (x *Crossbar) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+	if !x.programmed {
+		return nil, energy.Zero, fmt.Errorf("crossbar: MVM before Program")
+	}
+	if len(input) != x.usedRows {
+		return nil, energy.Zero, fmt.Errorf("crossbar: input length %d != programmed rows %d", len(input), x.usedRows)
+	}
+	if x.cfg.ReadNoise > 0 && rng == nil {
+		return nil, energy.Zero, fmt.Errorf("crossbar: ReadNoise %g requires an rng", x.cfg.ReadNoise)
+	}
+
+	// Quantize and shift-encode the input.
+	xScale := 0.0
+	for _, v := range input {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, energy.Zero, fmt.Errorf("crossbar: non-finite input")
+		}
+		if a := math.Abs(v); a > xScale {
+			xScale = a
+		}
+	}
+	if xScale == 0 {
+		xScale = 1
+	}
+	xMax := int(1)<<x.cfg.InputBits - 1
+	xInt := make([]int, x.usedRows)
+	for i, v := range input {
+		x01 := (v/xScale + 1) / 2
+		xInt[i] = int(math.Round(x01 * float64(xMax)))
+	}
+
+	// ADC transfer function for one cycle+slice: the largest possible
+	// column sum is usedRows * cellMax; the ADC quantizes [0, maxSum] into
+	// 2^ADCBits levels.
+	cellMax := float64(int(1)<<x.cfg.CellBits - 1)
+	maxSum := float64(x.usedRows) * cellMax
+	adcLevels := float64(int(1)<<x.cfg.ADCBits - 1)
+	adcStep := maxSum / adcLevels
+	if adcStep == 0 {
+		adcStep = 1
+	}
+
+	// acc[c] accumulates shift-added partial sums across input bits and
+	// weight slices, in integer weight x integer input units.
+	acc := make([]float64, x.usedCols)
+	if x.cfg.Functional {
+		// Exact integer accumulation: equivalent to the bit-serial loop
+		// with ideal converters.
+		for c := 0; c < x.usedCols; c++ {
+			var sum int64
+			for r := 0; r < x.usedRows; r++ {
+				var wInt int64
+				for s := x.cfg.slices() - 1; s >= 0; s-- {
+					wInt = wInt<<x.cfg.CellBits | int64(x.sliceLevels[s][r*x.cfg.Cols+c])
+				}
+				sum += wInt * int64(xInt[r])
+			}
+			acc[c] = float64(sum)
+		}
+		return x.finishMVM(acc, xInt, xMax, xScale)
+	}
+	for b := 0; b < x.cfg.InputBits; b++ {
+		bitMask := 1 << b
+		for s := 0; s < x.cfg.slices(); s++ {
+			sl := x.sliceLevels[s]
+			scale := math.Pow(2, float64(b+s*x.cfg.CellBits))
+			for c := 0; c < x.usedCols; c++ {
+				var colSum float64
+				for r := 0; r < x.usedRows; r++ {
+					if xInt[r]&bitMask != 0 {
+						colSum += float64(sl[r*x.cfg.Cols+c])
+					}
+				}
+				if x.cfg.ReadNoise > 0 {
+					// Multiplicative cycle-to-cycle read noise on the
+					// analog partial, matching the device model: each
+					// read deviates by a relative Gaussian factor.
+					colSum *= 1 + rng.NormFloat64()*x.cfg.ReadNoise
+					if colSum < 0 {
+						colSum = 0
+					}
+				}
+				// ADC: clip then quantize.
+				if colSum > maxSum {
+					colSum = maxSum
+				}
+				digitized := math.Round(colSum/adcStep) * adcStep
+				acc[c] += digitized * scale
+			}
+		}
+	}
+
+	return x.finishMVM(acc, xInt, xMax, xScale)
+}
+
+// finishMVM removes the shift-encoding offsets and restores the real-valued
+// scale: y = wScale*xScale * (4*acc/(Wmax*Xmax) - 2*colSum/Wmax -
+// 2*xSum/Xmax + n).
+func (x *Crossbar) finishMVM(acc []float64, xInt []int, xMax int, xScale float64) ([]float64, energy.Cost, error) {
+	var xSumInt int64
+	for _, v := range xInt {
+		xSumInt += int64(v)
+	}
+	wMax := float64(int(1)<<x.cfg.WeightBits - 1)
+	out := make([]float64, x.usedCols)
+	n := float64(x.usedRows)
+	for c := range out {
+		t := 4*acc[c]/(wMax*float64(xMax)) -
+			2*float64(x.colSumInt[c])/wMax -
+			2*float64(xSumInt)/float64(xMax) + n
+		out[c] = x.wScale * xScale * t
+	}
+	return out, x.mvmCost(), nil
+}
+
+// mvmCost returns the cost of one full MVM: InputBits array cycles (slices
+// fire in parallel, each with its own ADC), plus digital merge and buffer
+// traffic.
+func (x *Crossbar) mvmCost() energy.Cost {
+	cycles := int64(x.cfg.InputBits)
+	slices := float64(x.cfg.slices())
+	rows := float64(x.usedRows)
+	cols := float64(x.usedCols)
+
+	// ADC energy scales exponentially with resolution relative to the 8-bit
+	// reference point.
+	adcEnergy := energy.ADCConversionEnergyPJ * math.Pow(2, float64(x.cfg.ADCBits-8))
+
+	perCycle := rows*cols*slices*energy.CrossbarCellReadEnergyPJ +
+		rows*slices*energy.DACDriveEnergyPJ +
+		cols*slices*(adcEnergy+energy.SAHoldEnergyPJ) +
+		cols*slices*energy.ShiftAddEnergyPJ
+
+	// Input and output transit the tile eDRAM buffer once per MVM.
+	bufBytes := rows + 2*cols // 1B/input element, 2B/output element
+	bufEnergy := bufBytes * energy.EDRAMAccessEnergyPJPerByte
+
+	return energy.Cost{
+		LatencyPS: cycles*energy.CrossbarReadLatencyPS + 2*energy.EDRAMAccessLatencyPS,
+		EnergyPJ:  float64(cycles)*perCycle + bufEnergy,
+	}
+}
+
+// IdealMVM computes the product with no analog effects — the reference the
+// tests compare the analog pipeline against.
+func (x *Crossbar) IdealMVM(w [][]float64, input []float64) ([]float64, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("crossbar: empty weights")
+	}
+	if len(input) != len(w) {
+		return nil, fmt.Errorf("crossbar: input length %d != rows %d", len(input), len(w))
+	}
+	cols := len(w[0])
+	out := make([]float64, cols)
+	for r, row := range w {
+		if len(row) != cols {
+			return nil, fmt.Errorf("crossbar: ragged matrix at row %d", r)
+		}
+		for c, v := range row {
+			out[c] += v * input[r]
+		}
+	}
+	return out, nil
+}

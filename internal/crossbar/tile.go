@@ -1,0 +1,180 @@
+package crossbar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cimrev/internal/energy"
+)
+
+// Tile aggregates a grid of crossbars to hold matrices larger than one
+// array, mirroring the paper's Fig 5 hierarchy (micro-units composed into
+// units and tiles). An M x N matrix is split into ceil(M/Rows) x
+// ceil(N/Cols) blocks; block results merge with digital adds. All blocks
+// compute in parallel (each owns its arrays and converters), so MVM latency
+// is one block MVM plus the merge, while energy sums across blocks.
+type Tile struct {
+	cfg        Config
+	blocks     [][]*Crossbar // blocks[br][bc]
+	rows, cols int           // programmed logical dims
+	programmed bool
+	// pastWrites preserves wear from arrays discarded by a reshaping
+	// reprogram, so lifetime write counts survive reconfiguration.
+	pastWrites int64
+}
+
+// NewTile returns an empty tile that will allocate crossbars on Program.
+func NewTile(cfg Config) (*Tile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tile{cfg: cfg}, nil
+}
+
+// Config returns the tile's per-crossbar configuration.
+func (t *Tile) Config() Config { return t.cfg }
+
+// Shape returns the programmed logical matrix dimensions.
+func (t *Tile) Shape() (rows, cols int) { return t.rows, t.cols }
+
+// BlockGrid returns the crossbar grid dimensions.
+func (t *Tile) BlockGrid() (brows, bcols int) {
+	if len(t.blocks) == 0 {
+		return 0, 0
+	}
+	return len(t.blocks), len(t.blocks[0])
+}
+
+// CrossbarCount returns the number of physical crossbars in use.
+func (t *Tile) CrossbarCount() int {
+	br, bc := t.BlockGrid()
+	return br * bc
+}
+
+// Writes returns total lifetime cell-programming operations, including
+// wear on arrays retired by reshaping reprograms.
+func (t *Tile) Writes() int64 {
+	n := t.pastWrites
+	for _, row := range t.blocks {
+		for _, b := range row {
+			n += b.Writes()
+		}
+	}
+	return n
+}
+
+// Program loads an arbitrary M x N matrix, allocating the block grid. It
+// returns the programming cost: blocks program in parallel (latency = max
+// block latency), energy sums.
+func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
+	m := len(w)
+	if m == 0 {
+		return energy.Zero, fmt.Errorf("crossbar: empty weight matrix")
+	}
+	n := len(w[0])
+	if n == 0 {
+		return energy.Zero, fmt.Errorf("crossbar: empty weight rows")
+	}
+	for r, row := range w {
+		if len(row) != n {
+			return energy.Zero, fmt.Errorf("crossbar: ragged matrix at row %d", r)
+		}
+	}
+
+	brows := (m + t.cfg.Rows - 1) / t.cfg.Rows
+	bcols := (n + t.cfg.Cols - 1) / t.cfg.Cols
+
+	// Same logical shape: reprogram the existing arrays in place so wear
+	// accumulates on the physical cells. A reshape retires the old arrays
+	// (their wear is preserved in pastWrites) and allocates fresh ones.
+	reuse := t.programmed && t.rows == m && t.cols == n
+	if !reuse {
+		for _, row := range t.blocks {
+			for _, b := range row {
+				t.pastWrites += b.Writes()
+			}
+		}
+		t.blocks = make([][]*Crossbar, brows)
+		for br := range t.blocks {
+			t.blocks[br] = make([]*Crossbar, bcols)
+		}
+	}
+
+	cost := energy.Zero
+	for br := 0; br < brows; br++ {
+		r0 := br * t.cfg.Rows
+		r1 := min(r0+t.cfg.Rows, m)
+		for bc := 0; bc < bcols; bc++ {
+			c0 := bc * t.cfg.Cols
+			c1 := min(c0+t.cfg.Cols, n)
+			sub := make([][]float64, r1-r0)
+			for r := r0; r < r1; r++ {
+				sub[r-r0] = w[r][c0:c1]
+			}
+			xb := t.blocks[br][bc]
+			if xb == nil {
+				var err error
+				xb, err = New(t.cfg)
+				if err != nil {
+					return energy.Zero, err
+				}
+				t.blocks[br][bc] = xb
+			}
+			c, err := xb.Program(sub)
+			if err != nil {
+				return energy.Zero, fmt.Errorf("crossbar: program block (%d,%d): %w", br, bc, err)
+			}
+			cost = cost.Par(c)
+		}
+	}
+	t.rows, t.cols = m, n
+	t.programmed = true
+	return cost, nil
+}
+
+// MVM computes y = W · input across the block grid. Blocks run in parallel;
+// partial results for each column-block are merged with digital adds.
+func (t *Tile) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+	if !t.programmed {
+		return nil, energy.Zero, fmt.Errorf("crossbar: tile MVM before Program")
+	}
+	if len(input) != t.rows {
+		return nil, energy.Zero, fmt.Errorf("crossbar: input length %d != rows %d", len(input), t.rows)
+	}
+
+	out := make([]float64, t.cols)
+	cost := energy.Zero
+	for br, blockRow := range t.blocks {
+		r0 := br * t.cfg.Rows
+		r1 := min(r0+t.cfg.Rows, t.rows)
+		sub := input[r0:r1]
+		for bc, block := range blockRow {
+			y, c, err := block.MVM(sub, rng)
+			if err != nil {
+				return nil, energy.Zero, fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
+			}
+			cost = cost.Par(c)
+			c0 := bc * t.cfg.Cols
+			for i, v := range y {
+				out[c0+i] += v
+			}
+		}
+	}
+	// Digital merge: one add per partial element beyond the first block row.
+	br, _ := t.BlockGrid()
+	if br > 1 {
+		merges := int64(br-1) * int64(t.cols)
+		cost = cost.Seq(energy.Cost{
+			LatencyPS: energy.EDRAMAccessLatencyPS,
+			EnergyPJ:  float64(merges) * energy.ShiftAddEnergyPJ,
+		})
+	}
+	return out, cost, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

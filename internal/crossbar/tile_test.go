@@ -1,0 +1,276 @@
+package crossbar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, m, n int) [][]float64 {
+	w := make([][]float64, m)
+	for r := range w {
+		w[r] = make([]float64, n)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	return w
+}
+
+func randomVector(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestTileSingleBlockMatchesCrossbar(t *testing.T) {
+	cfg := smallConfig()
+	tile, err := NewTile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	w := randomMatrix(rng, 8, 8)
+	input := randomVector(rng, 8)
+
+	if _, err := tile.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	if br, bc := tile.BlockGrid(); br != 1 || bc != 1 {
+		t.Fatalf("block grid = %dx%d, want 1x1", br, bc)
+	}
+
+	got, _, err := tile.MVM(input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xb.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := xb.MVM(input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("col %d: tile %g != crossbar %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTileMultiBlockAccuracy(t *testing.T) {
+	cfg := smallConfig() // 16x16 arrays
+	tile, err := NewTile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const m, n = 40, 33 // forces a 3x3 ragged block grid
+	w := randomMatrix(rng, m, n)
+	input := randomVector(rng, m)
+
+	if _, err := tile.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	if br, bc := tile.BlockGrid(); br != 3 || bc != 3 {
+		t.Fatalf("block grid = %dx%d, want 3x3", br, bc)
+	}
+	if tile.CrossbarCount() != 9 {
+		t.Fatalf("CrossbarCount = %d, want 9", tile.CrossbarCount())
+	}
+
+	got, _, err := tile.MVM(input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (&Crossbar{}).IdealMVM(w, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-block scaling keeps the quantization error proportional to block
+	// magnitudes; allow 5% of the accumulated scale.
+	budget := 0.05 * float64(m)
+	for c := range ref {
+		if math.Abs(got[c]-ref[c]) > budget {
+			t.Errorf("col %d: tile %g vs ideal %g (budget %g)", c, got[c], ref[c], budget)
+		}
+	}
+}
+
+func TestTileShape(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := tile.Program(randomMatrix(rng, 20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	r, c := tile.Shape()
+	if r != 20 || c != 5 {
+		t.Errorf("Shape = %dx%d, want 20x5", r, c)
+	}
+}
+
+func TestTileErrors(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tile.Program(nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := tile.Program([][]float64{{}}); err == nil {
+		t.Error("empty rows should fail")
+	}
+	if _, err := tile.Program([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, _, err := tile.MVM([]float64{1}, nil); err == nil {
+		t.Error("MVM before Program should fail")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := tile.Program(randomMatrix(rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tile.MVM([]float64{1, 2}, nil); err == nil {
+		t.Error("wrong input length should fail")
+	}
+}
+
+func TestTileParallelBlockLatency(t *testing.T) {
+	// A 2x-taller matrix uses 2x the crossbars but (blocks being parallel)
+	// must NOT take 2x the MVM latency.
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(5))
+
+	lat := func(rows int) int64 {
+		tile, err := NewTile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tile.Program(randomMatrix(rng, rows, 16)); err != nil {
+			t.Fatal(err)
+		}
+		_, c, err := tile.MVM(randomVector(rng, rows), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.LatencyPS
+	}
+
+	l16, l64 := lat(16), lat(64)
+	if l64 > 2*l16 {
+		t.Errorf("64-row MVM latency %d should be < 2x 16-row latency %d (parallel blocks)", l64, l16)
+	}
+}
+
+func TestTileEnergyScalesWithBlocks(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(5))
+
+	eng := func(rows int) float64 {
+		tile, err := NewTile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tile.Program(randomMatrix(rng, rows, 16)); err != nil {
+			t.Fatal(err)
+		}
+		_, c, err := tile.MVM(randomVector(rng, rows), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.EnergyPJ
+	}
+
+	if e64, e16 := eng(64), eng(16); e64 < 2*e16 {
+		t.Errorf("64-row MVM energy %g should be >= 2x 16-row energy %g", e64, e16)
+	}
+}
+
+func TestTileWrites(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := tile.Program(randomMatrix(rng, 32, 16)); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(32*16) * int64(tile.Config().slices())
+	if got := tile.Writes(); got != want {
+		t.Errorf("Writes = %d, want %d", got, want)
+	}
+}
+
+func TestTileWearAccumulatesAcrossReprograms(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	w := randomMatrix(rng, 8, 8)
+	if _, err := tile.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	once := tile.Writes()
+	for i := 0; i < 4; i++ {
+		if _, err := tile.Program(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tile.Writes(); got != 5*once {
+		t.Errorf("writes after 5 programs = %d, want %d", got, 5*once)
+	}
+}
+
+func TestTileWearSurvivesReshape(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := tile.Program(randomMatrix(rng, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	before := tile.Writes()
+	// Reshape retires the old arrays but keeps their wear on the books.
+	if _, err := tile.Program(randomMatrix(rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	after := tile.Writes()
+	if after <= before {
+		t.Errorf("reshape lost wear history: %d -> %d", before, after)
+	}
+}
+
+func TestTileReprogramKeepsResults(t *testing.T) {
+	// Reused arrays must compute with the new weights, not stale ones.
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := [][]float64{{1, 0}, {0, 1}}
+	w2 := [][]float64{{0, 1}, {1, 0}}
+	if _, err := tile.Program(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tile.Program(w2); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := tile.MVM([]float64{1, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]) > 0.1 || math.Abs(out[1]-1) > 0.1 {
+		t.Errorf("reprogrammed MVM = %v, want ~[0 1]", out)
+	}
+}

@@ -1,0 +1,367 @@
+// Package dpe implements the Dot Product Engine, the paper's Section VI
+// system: "we have implemented [a] static data flow CIM model which enables
+// us to program and reconfigure the CIM for classes of neural networks",
+// the follow-on to ISAAC [49] "extended to be more programmable".
+//
+// An Engine holds a neural network entirely in crossbar arrays: dense
+// layers map to tiles of memristive crossbars, convolutions are lowered via
+// im2col and streamed patch-by-patch through replicated filter crossbars,
+// and activations run on digital micro-units. Because the weights never
+// move, each inference costs only input/output streaming plus in-place
+// analog reads — the root of the latency, bandwidth, and power advantages
+// Section VI reports and this package's experiments reproduce.
+package dpe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cimrev/internal/crossbar"
+	"cimrev/internal/energy"
+	"cimrev/internal/nn"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Crossbar configures the underlying arrays.
+	Crossbar crossbar.Config
+	// ConvReplicas is how many copies of each convolution's filter
+	// crossbar exist; patches stream through replicas in parallel.
+	ConvReplicas int
+	// Seed drives analog noise.
+	Seed int64
+}
+
+// DefaultConfig returns ISAAC-scale arrays in functional-simulation mode
+// with 4-way conv replication.
+func DefaultConfig() Config {
+	xb := crossbar.DefaultConfig()
+	xb.Functional = true
+	return Config{Crossbar: xb, ConvReplicas: 4, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ConvReplicas <= 0 {
+		return fmt.Errorf("dpe: ConvReplicas must be positive, got %d", c.ConvReplicas)
+	}
+	return c.Crossbar.Validate()
+}
+
+// stage is one loaded layer.
+type stage struct {
+	layer nn.Layer
+	// tile holds weights for Dense and Conv2D stages.
+	tile *crossbar.Tile
+	// conv is set for Conv2D stages.
+	conv *nn.Conv2D
+	// dense is set for Dense stages.
+	dense *nn.Dense
+}
+
+// Engine is a programmed Dot Product Engine.
+type Engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	net    *nn.Network
+	stages []stage
+
+	programCost energy.Cost
+	inferences  int64
+}
+
+// New returns an empty engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Network returns the loaded network (nil before Load).
+func (e *Engine) Network() *nn.Network { return e.net }
+
+// ProgramCost returns the cost of the most recent Load — dominated by the
+// slow memristor writes (Section VI's asymmetry).
+func (e *Engine) ProgramCost() energy.Cost { return e.programCost }
+
+// Inferences returns how many inferences have run since Load.
+func (e *Engine) Inferences() int64 { return e.inferences }
+
+// CrossbarCount returns the number of physical crossbar arrays in use.
+func (e *Engine) CrossbarCount() int {
+	var n int
+	for _, s := range e.stages {
+		if s.tile != nil {
+			mult := 1
+			if s.conv != nil {
+				mult = e.cfg.ConvReplicas
+			}
+			n += s.tile.CrossbarCount() * mult
+		}
+	}
+	return n
+}
+
+// WeightBytes returns the bytes of weights held stationary in the arrays.
+func (e *Engine) WeightBytes() float64 {
+	if e.net == nil {
+		return 0
+	}
+	return float64(e.net.Params()) * float64(e.cfg.Crossbar.WeightBits) / 8
+}
+
+// Load programs the network into crossbar hardware, returning the
+// programming cost. Layers program in parallel across their own arrays
+// (latency is the max stage cost; energy sums).
+func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return energy.Zero, fmt.Errorf("dpe: empty network")
+	}
+	stages := make([]stage, 0, len(net.Layers))
+	total := energy.Zero
+	for i, layer := range net.Layers {
+		s := stage{layer: layer}
+		switch l := layer.(type) {
+		case *nn.Dense:
+			tile, err := crossbar.NewTile(e.cfg.Crossbar)
+			if err != nil {
+				return energy.Zero, err
+			}
+			cost, err := tile.Program(l.WeightMatrix())
+			if err != nil {
+				return energy.Zero, fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
+			}
+			total = total.Par(cost)
+			s.tile, s.dense = tile, l
+		case *nn.Conv2D:
+			tile, err := crossbar.NewTile(e.cfg.Crossbar)
+			if err != nil {
+				return energy.Zero, err
+			}
+			cost, err := tile.Program(l.Im2ColMatrix())
+			if err != nil {
+				return energy.Zero, fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
+			}
+			// Replicas program in parallel but all cells cost energy.
+			cost.EnergyPJ *= float64(e.cfg.ConvReplicas)
+			total = total.Par(cost)
+			s.tile, s.conv = tile, l
+		case *nn.ActivationLayer, *nn.MaxPool2D:
+			// Digital stages need no programming.
+		default:
+			return energy.Zero, fmt.Errorf("dpe: unsupported layer %d (%s)", i, layer.Name())
+		}
+		stages = append(stages, s)
+	}
+	e.net = net
+	e.stages = stages
+	e.programCost = total
+	e.inferences = 0
+	return total, nil
+}
+
+// Reprogram loads a new network of identical topology into the existing
+// arrays (wear accumulates on the same physical cells). With hide=false
+// the engine stalls for the full write latency; with hide=true shadow
+// arrays absorb the writes behind ongoing inference (the write-asymmetry
+// hiding of Section VI) and only a reconfiguration swap appears on the
+// critical path.
+func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
+	if e.net == nil {
+		return energy.Zero, fmt.Errorf("dpe: Reprogram before Load")
+	}
+	if net == nil || len(net.Layers) != len(e.stages) {
+		return energy.Zero, fmt.Errorf("dpe: Reprogram requires identical topology")
+	}
+	cost := energy.Zero
+	for i := range e.stages {
+		s := &e.stages[i]
+		switch l := net.Layers[i].(type) {
+		case *nn.Dense:
+			if s.dense == nil || s.dense.InSize() != l.InSize() || s.dense.OutSize() != l.OutSize() {
+				return energy.Zero, fmt.Errorf("dpe: layer %d shape mismatch", i)
+			}
+			c, err := s.tile.Program(l.WeightMatrix())
+			if err != nil {
+				return energy.Zero, err
+			}
+			cost = cost.Par(c)
+			s.dense, s.layer = l, l
+		case *nn.Conv2D:
+			if s.conv == nil || s.conv.InSize() != l.InSize() || s.conv.OutSize() != l.OutSize() {
+				return energy.Zero, fmt.Errorf("dpe: layer %d shape mismatch", i)
+			}
+			c, err := s.tile.Program(l.Im2ColMatrix())
+			if err != nil {
+				return energy.Zero, err
+			}
+			c.EnergyPJ *= float64(e.cfg.ConvReplicas)
+			cost = cost.Par(c)
+			s.conv, s.layer = l, l
+		default:
+			if s.tile != nil {
+				return energy.Zero, fmt.Errorf("dpe: layer %d kind mismatch", i)
+			}
+			s.layer = net.Layers[i]
+		}
+	}
+	e.net = net
+	e.programCost = cost
+	if hide {
+		// Writes retire off the critical path; the visible latency is one
+		// buffer swap. Energy is still paid in full.
+		return energy.Cost{LatencyPS: energy.EDRAMAccessLatencyPS, EnergyPJ: cost.EnergyPJ}, nil
+	}
+	return cost, nil
+}
+
+// Infer runs one inference, returning the output vector and its cost.
+func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
+	if e.net == nil {
+		return nil, energy.Zero, fmt.Errorf("dpe: Infer before Load")
+	}
+	if len(in) != e.net.InSize() {
+		return nil, energy.Zero, fmt.Errorf("dpe: input length %d != %d", len(in), e.net.InSize())
+	}
+	v := in
+	total := energy.Zero
+	for i := range e.stages {
+		out, cost, err := e.runStage(&e.stages[i], v)
+		if err != nil {
+			return nil, energy.Zero, fmt.Errorf("dpe: stage %d (%s): %w", i, e.stages[i].layer.Name(), err)
+		}
+		total = total.Seq(cost)
+		v = out
+	}
+	e.inferences++
+	return v, total, nil
+}
+
+func (e *Engine) runStage(s *stage, in []float64) ([]float64, energy.Cost, error) {
+	switch {
+	case s.dense != nil:
+		out, cost, err := s.tile.MVM(in, e.rng)
+		if err != nil {
+			return nil, energy.Zero, err
+		}
+		for o := range out {
+			out[o] += s.dense.B[o]
+		}
+		// Bias adds ride the existing shift-add hardware.
+		cost = cost.Seq(energy.Cost{EnergyPJ: float64(len(out)) * energy.ShiftAddEnergyPJ})
+		return out, cost, nil
+	case s.conv != nil:
+		return e.runConv(s, in)
+	default:
+		return e.runDigital(s.layer, in)
+	}
+}
+
+// runConv streams im2col patches through the filter crossbar. Replicas
+// process patches concurrently: latency covers ceil(patches/replicas)
+// waves, energy covers every patch.
+func (e *Engine) runConv(s *stage, in []float64) ([]float64, energy.Cost, error) {
+	l := s.conv
+	oh, ow := l.OutH(), l.OutW()
+	out := make([]float64, oh*ow*l.F)
+	patches := oh * ow
+	var patchCost energy.Cost
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			patch, err := l.Patch(in, oy, ox)
+			if err != nil {
+				return nil, energy.Zero, err
+			}
+			y, cost, err := s.tile.MVM(patch, e.rng)
+			if err != nil {
+				return nil, energy.Zero, err
+			}
+			patchCost = cost // uniform across patches
+			for f := 0; f < l.F; f++ {
+				out[(oy*ow+ox)*l.F+f] = y[f] + l.B[f]
+			}
+		}
+	}
+	waves := (patches + e.cfg.ConvReplicas - 1) / e.cfg.ConvReplicas
+	cost := energy.Cost{
+		LatencyPS: patchCost.LatencyPS * int64(waves),
+		EnergyPJ:  patchCost.EnergyPJ * float64(patches),
+	}
+	return out, cost, nil
+}
+
+// runDigital executes activation and pooling stages on digital micro-units.
+func (e *Engine) runDigital(layer nn.Layer, in []float64) ([]float64, energy.Cost, error) {
+	out, err := layer.Forward(in)
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+	n := float64(len(in))
+	cost := energy.Cost{
+		LatencyPS: energy.EDRAMAccessLatencyPS,
+		EnergyPJ:  n * (energy.ShiftAddEnergyPJ + energy.EDRAMAccessEnergyPJPerByte),
+	}
+	return out, cost, nil
+}
+
+// InferBatch runs a batch through the engine's stage pipeline. Stages are
+// physically distinct (each layer owns its arrays), so once the pipeline
+// fills, one result retires per bottleneck-stage interval: latency is
+// fill + (n-1) x bottleneck, far better than n x single-inference latency.
+// Energy is n x per-inference energy. This is the ISAAC-style throughput
+// mode behind the Section VI claims.
+func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	if e.net == nil {
+		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
+	}
+	if len(inputs) == 0 {
+		return nil, energy.Zero, fmt.Errorf("dpe: empty batch")
+	}
+	outs := make([][]float64, len(inputs))
+	var fill energy.Cost
+	var bottleneck int64
+	var perInferEnergy float64
+	for i, in := range inputs {
+		if len(in) != e.net.InSize() {
+			return nil, energy.Zero, fmt.Errorf("dpe: input %d length %d != %d", i, len(in), e.net.InSize())
+		}
+		v := in
+		var stageMax int64
+		total := energy.Zero
+		for s := range e.stages {
+			out, cost, err := e.runStage(&e.stages[s], v)
+			if err != nil {
+				return nil, energy.Zero, fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
+			}
+			total = total.Seq(cost)
+			if cost.LatencyPS > stageMax {
+				stageMax = cost.LatencyPS
+			}
+			v = out
+		}
+		outs[i] = v
+		e.inferences++
+		if i == 0 {
+			fill = total
+			bottleneck = stageMax
+			perInferEnergy = total.EnergyPJ
+		}
+	}
+	cost := energy.Cost{
+		LatencyPS: fill.LatencyPS + int64(len(inputs)-1)*bottleneck,
+		EnergyPJ:  perInferEnergy * float64(len(inputs)),
+	}
+	return outs, cost, nil
+}
+
+// EffectiveWeightBandwidth returns the rate at which an inference "touches"
+// weight bytes without moving them, in bytes/s: the Section VI bandwidth
+// metric. A Von Neumann machine must physically stream the same bytes
+// through its memory interface.
+func (e *Engine) EffectiveWeightBandwidth(inferCost energy.Cost) float64 {
+	if inferCost.LatencyPS == 0 {
+		return 0
+	}
+	return e.WeightBytes() / inferCost.Latency()
+}

@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ledger accumulates costs by named category while tracking the overall
+// critical path. A Ledger is safe for concurrent use; simulators running
+// parallel components charge the same ledger from multiple goroutines.
+//
+// The zero value is NOT ready to use; construct with NewLedger.
+type Ledger struct {
+	mu       sync.Mutex
+	byCat    map[string]Cost
+	critical int64 // critical-path latency, advanced explicitly
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byCat: make(map[string]Cost)}
+}
+
+// Charge records cost against category. Charge extends the critical path
+// serially; use ChargeParallel when the caller knows the work overlapped
+// with already-charged work.
+func (l *Ledger) Charge(category string, c Cost) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byCat[category] = l.byCat[category].Seq(c)
+	l.critical += c.LatencyPS
+}
+
+// ChargeParallel records the energy of cost against category and extends the
+// critical path only if the cost's latency exceeds the remaining slack.
+// Parallel charges model work overlapping everything charged so far in the
+// current epoch; callers that need precise overlap semantics should compose
+// Costs with Par before charging.
+func (l *Ledger) ChargeParallel(category string, c Cost) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := l.byCat[category]
+	l.byCat[category] = Cost{
+		LatencyPS: prev.LatencyPS + c.LatencyPS,
+		EnergyPJ:  prev.EnergyPJ + c.EnergyPJ,
+	}
+	if c.LatencyPS > l.critical {
+		l.critical = c.LatencyPS
+	}
+}
+
+// Total returns the summed cost across all categories with the ledger's
+// critical-path latency (not the sum of category latencies).
+func (l *Ledger) Total() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var e float64
+	for _, c := range l.byCat {
+		e += c.EnergyPJ
+	}
+	return Cost{LatencyPS: l.critical, EnergyPJ: e}
+}
+
+// Category returns the accumulated cost for one category.
+func (l *Ledger) Category(name string) Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.byCat[name]
+}
+
+// Categories returns the category names in sorted order.
+func (l *Ledger) Categories() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.byCat))
+	for k := range l.byCat {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all accumulated costs.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byCat = make(map[string]Cost)
+	l.critical = 0
+}
+
+// Report renders a multi-line per-category breakdown followed by the total.
+func (l *Ledger) Report() string {
+	var b strings.Builder
+	for _, name := range l.Categories() {
+		c := l.Category(name)
+		fmt.Fprintf(&b, "%-24s %s\n", name, c)
+	}
+	fmt.Fprintf(&b, "%-24s %s\n", "TOTAL", l.Total())
+	return b.String()
+}

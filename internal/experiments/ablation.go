@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cimrev/internal/dpe"
+	"cimrev/internal/nn"
+	"cimrev/internal/suitability"
+	"cimrev/internal/workloads"
+)
+
+// ADCRow is one resolution point of the converter ablation.
+type ADCRow struct {
+	Bits int
+	// Accuracy is classification accuracy of a trained network deployed
+	// through the full bit-serial analog pipeline at this resolution.
+	Accuracy float64
+	// SoftwareAccuracy is the float reference.
+	SoftwareAccuracy float64
+	// EnergyPJ is the per-inference energy.
+	EnergyPJ float64
+}
+
+// ADCResult is the converter-resolution ablation: the accuracy/energy
+// trade that sizes the DPE's ADCs (ISAAC's key design decision).
+type ADCResult struct {
+	Rows []ADCRow
+}
+
+// ADCAblation trains a small classifier once and deploys it repeatedly at
+// different ADC resolutions through the honest bit-serial pipeline.
+func ADCAblation(bits []int) (*ADCResult, error) {
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("experiments: empty bits sweep")
+	}
+	rng := rand.New(rand.NewSource(404))
+	const dim, classes = 10, 4
+	allIn, allLab, err := nn.MakeBlobs(400, classes, dim, 0.3, rng)
+	if err != nil {
+		return nil, err
+	}
+	trainIn, trainLab := allIn[:280], allLab[:280]
+	testIn, testLab := allIn[280:], allLab[280:]
+
+	net, err := nn.NewMLP("adc-ablation", []int{dim, 20, classes}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nn.Train(net, trainIn, trainLab, 25, 0.05, rng); err != nil {
+		return nil, err
+	}
+	swAcc, err := nn.Accuracy(net, testIn, testLab)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ADCResult{}
+	for _, b := range bits {
+		cfg := dpe.DefaultConfig()
+		cfg.Crossbar.Functional = false
+		cfg.Crossbar.ADCBits = b
+		eng, err := dpe.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: adc %d: %w", b, err)
+		}
+		if _, err := eng.Load(net); err != nil {
+			return nil, err
+		}
+		correct := 0
+		var lastEnergy float64
+		for i, in := range testIn {
+			out, cost, err := eng.Infer(in)
+			if err != nil {
+				return nil, err
+			}
+			lastEnergy = cost.EnergyPJ
+			best := 0
+			for j := range out {
+				if out[j] > out[best] {
+					best = j
+				}
+			}
+			if best == testLab[i] {
+				correct++
+			}
+		}
+		res.Rows = append(res.Rows, ADCRow{
+			Bits:             b,
+			Accuracy:         float64(correct) / float64(len(testIn)),
+			SoftwareAccuracy: swAcc,
+			EnergyPJ:         lastEnergy,
+		})
+	}
+	return res, nil
+}
+
+// Format renders the ablation table.
+func (r *ADCResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Ablation — ADC resolution vs accuracy and energy\n")
+	b.WriteString(fmt.Sprintf("%-8s %12s %12s %14s\n", "ADC bits", "accuracy", "software", "pJ/inference"))
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-8d %11.1f%% %11.1f%% %14.0f\n",
+			row.Bits, 100*row.Accuracy, 100*row.SoftwareAccuracy, row.EnergyPJ))
+	}
+	return b.String()
+}
+
+// NoiseRow is one read-noise point.
+type NoiseRow struct {
+	// Sigma is the relative analog read-noise standard deviation.
+	Sigma float64
+	// Accuracy is classification accuracy through the noisy pipeline.
+	Accuracy float64
+	// SoftwareAccuracy is the float reference.
+	SoftwareAccuracy float64
+}
+
+// NoiseResult is the analog read-noise ablation.
+type NoiseResult struct {
+	Rows []NoiseRow
+}
+
+// NoiseAblation deploys a trained classifier at increasing analog read
+// noise — the device-variability tolerance study that motivates using NN
+// inference (noise-tolerant by construction) as CIM's flagship workload.
+func NoiseAblation(sigmas []float64) (*NoiseResult, error) {
+	if len(sigmas) == 0 {
+		return nil, fmt.Errorf("experiments: empty sigma sweep")
+	}
+	rng := rand.New(rand.NewSource(505))
+	const dim, classes = 10, 4
+	allIn, allLab, err := nn.MakeBlobs(400, classes, dim, 0.3, rng)
+	if err != nil {
+		return nil, err
+	}
+	trainIn, trainLab := allIn[:280], allLab[:280]
+	testIn, testLab := allIn[280:], allLab[280:]
+
+	net, err := nn.NewMLP("noise-ablation", []int{dim, 20, classes}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nn.Train(net, trainIn, trainLab, 25, 0.05, rng); err != nil {
+		return nil, err
+	}
+	swAcc, err := nn.Accuracy(net, testIn, testLab)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &NoiseResult{}
+	for _, sigma := range sigmas {
+		if sigma < 0 {
+			return nil, fmt.Errorf("experiments: negative noise %g", sigma)
+		}
+		cfg := dpe.DefaultConfig()
+		cfg.Crossbar.Functional = false
+		cfg.Crossbar.ReadNoise = sigma
+		eng, err := dpe.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Load(net); err != nil {
+			return nil, err
+		}
+		correct := 0
+		for i, in := range testIn {
+			out, _, err := eng.Infer(in)
+			if err != nil {
+				return nil, err
+			}
+			best := 0
+			for j := range out {
+				if out[j] > out[best] {
+					best = j
+				}
+			}
+			if best == testLab[i] {
+				correct++
+			}
+		}
+		res.Rows = append(res.Rows, NoiseRow{
+			Sigma:            sigma,
+			Accuracy:         float64(correct) / float64(len(testIn)),
+			SoftwareAccuracy: swAcc,
+		})
+	}
+	return res, nil
+}
+
+// Format renders the noise ablation.
+func (r *NoiseResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Ablation — analog read noise vs accuracy\n")
+	b.WriteString(fmt.Sprintf("%-10s %12s %12s\n", "sigma", "accuracy", "software"))
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-10.3f %11.1f%% %11.1f%%\n",
+			row.Sigma, 100*row.Accuracy, 100*row.SoftwareAccuracy))
+	}
+	return b.String()
+}
+
+// ParallelismRow is one point of the application-parallelism sweep.
+type ParallelismRow struct {
+	Parallelism float64
+	Speedup     float64
+}
+
+// ParallelismResult addresses the paper's first next-step question (Section
+// VII): "Recognizing dominant applications of the future that are suitable
+// for CIM will also depend on the application inherent parallelism."
+type ParallelismResult struct {
+	Rows []ParallelismRow
+}
+
+// ParallelismSweep holds an in-array-dominated kernel fixed (a large
+// training-scale tensor workload whose time is almost entirely crossbar
+// MVMs) and varies only its exploitable parallelism, reporting CIM speedup
+// over the Von Neumann baseline at each point. Serial dependences idle the
+// massively parallel arrays, so the benefit collapses as parallelism falls
+// — the Section VII point that suitability "will also depend on the
+// application inherent parallelism".
+func ParallelismSweep(points []float64) (*ParallelismResult, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("experiments: empty parallelism sweep")
+	}
+	base := workloads.Kernel{
+		Class:          workloads.NeuralNetworks,
+		Flops:          1e12,
+		DataBytes:      1e10,
+		Rounds:         1e3,
+		MVMFrac:        0.999,
+		StationaryFrac: 0.95,
+		Parallelism:    1,
+	}
+	vn, err := suitability.VNCost(base)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelismResult{}
+	for _, p := range points {
+		k := base
+		k.Parallelism = p
+		cim, err := suitability.CIMCost(k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallelism %g: %w", p, err)
+		}
+		res.Rows = append(res.Rows, ParallelismRow{
+			Parallelism: p,
+			Speedup:     float64(vn.LatencyPS) / float64(cim.LatencyPS),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *ParallelismResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Sweep — CIM speedup vs application parallelism (in-array-dominated kernel)\n")
+	b.WriteString(fmt.Sprintf("%-14s %10s\n", "parallelism", "speedup"))
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-14.2f %9.2fx\n", row.Parallelism, row.Speedup))
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+// Package experiments regenerates every evaluation artifact in the paper:
+// Fig 2 (bytes/FLOP decline), Table 1 (approaches to computing), Table 2
+// (application suitability), and the Section VI Dot Product Engine results
+// (latency, bandwidth, power, scale). Each experiment returns structured
+// rows plus a formatted text table, and is driven both by cmd/cimbench and
+// by the top-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cimrev/internal/machines"
+)
+
+// Fig2Row is one machine's balance point.
+type Fig2Row struct {
+	Year  int
+	Name  string
+	Ratio float64 // bytes per FLOP
+}
+
+// Fig2Result is the reproduced Fig 2.
+type Fig2Result struct {
+	Rows    []Fig2Row
+	Decades []Fig2Row
+	// Slope is the fitted log10(ratio)/year decline.
+	Slope float64
+	// TotalDecline is first/last ratio.
+	TotalDecline float64
+}
+
+// Fig2 regenerates the paper's Fig 2 series.
+func Fig2() (*Fig2Result, error) {
+	pts := machines.Series()
+	res := &Fig2Result{}
+	for _, p := range pts {
+		res.Rows = append(res.Rows, Fig2Row{Year: p.Year, Name: p.Name, Ratio: p.Ratio})
+	}
+	for _, p := range machines.DecadeMeans(pts) {
+		res.Decades = append(res.Decades, Fig2Row{Year: p.Year, Name: p.Name, Ratio: p.Ratio})
+	}
+	slope, err := machines.TrendSlope(pts)
+	if err != nil {
+		return nil, err
+	}
+	res.Slope = slope
+	res.TotalDecline = res.Rows[0].Ratio / res.Rows[len(res.Rows)-1].Ratio
+	return res, nil
+}
+
+// Format renders the figure as a text table with a log-scale bar.
+func (r *Fig2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 2 — Memory bandwidth per FLOP (bytes/FLOP)\n")
+	b.WriteString(fmt.Sprintf("%-6s %-18s %12s\n", "year", "machine", "bytes/FLOP"))
+	for _, row := range r.Rows {
+		bar := strings.Repeat("#", barLen(row.Ratio))
+		b.WriteString(fmt.Sprintf("%-6d %-18s %12.4f %s\n", row.Year, row.Name, row.Ratio, bar))
+	}
+	b.WriteString("\nDecade geometric means:\n")
+	for _, row := range r.Decades {
+		b.WriteString(fmt.Sprintf("  %-6s %10.4f\n", row.Name, row.Ratio))
+	}
+	b.WriteString(fmt.Sprintf("\ntrend: 10^(%.4f) per year; total decline %.0fx\n", r.Slope, r.TotalDecline))
+	return b.String()
+}
+
+// barLen maps a ratio onto a log bar: 4.0 -> ~26 chars, 0.004 -> ~0.
+func barLen(ratio float64) int {
+	n := 0
+	for v := ratio; v > 0.004 && n < 40; v /= 1.3 {
+		n++
+	}
+	return n
+}

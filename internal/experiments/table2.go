@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cimrev/internal/suitability"
+)
+
+// Table2Result is the reproduced Table 2.
+type Table2Result struct {
+	Rows []suitability.Result
+	// Agreement is the fraction of classes whose measured rating matches
+	// the paper's cell.
+	Agreement float64
+}
+
+// Table2 regenerates the paper's Table 2 by scoring every application
+// class on the CIM and Von Neumann cost models.
+func Table2() (*Table2Result, error) {
+	rows, err := suitability.Table2()
+	if err != nil {
+		return nil, err
+	}
+	agree := 0
+	for _, r := range rows {
+		if r.Agrees() {
+			agree++
+		}
+	}
+	return &Table2Result{
+		Rows:      rows,
+		Agreement: float64(agree) / float64(len(rows)),
+	}, nil
+}
+
+// Format renders the measured table next to the paper's verdicts.
+func (r *Table2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — Application suitability for CIM (measured vs paper)\n")
+	b.WriteString(fmt.Sprintf("%-28s %10s %10s %10s %10s %7s\n",
+		"class", "speedup", "energy x", "measured", "paper", "agree"))
+	for _, row := range r.Rows {
+		agree := "yes"
+		if !row.Agrees() {
+			agree = "NO"
+		}
+		b.WriteString(fmt.Sprintf("%-28s %9.2fx %9.2fx %10s %10s %7s\n",
+			row.Class, row.Speedup, row.EnergyX, row.Measured, row.Paper, agree))
+	}
+	b.WriteString(fmt.Sprintf("\nagreement: %.0f%%\n", 100*r.Agreement))
+	return b.String()
+}

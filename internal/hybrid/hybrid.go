@@ -1,0 +1,158 @@
+// Package hybrid implements Section III.F of the paper, the two
+// interaction models between Von Neumann and CIM systems:
+//
+//   - "Von Neumann within CIM model allows for Von Neumann components
+//     executing within CIM, for example, in support of control functions,
+//     or performing more general operations": ControlNodeFunc wraps a
+//     roofline machine as a dataflow node, so a fabric can host small
+//     general-purpose cores among its crossbar units.
+//
+//   - "CIM within Von Neumann model can result by using CIM as Von Neumann
+//     system memory, enabling built-in memory acceleration on an otherwise
+//     traditional Von Neumann architecture": AcceleratedMemory serves
+//     ordinary loads through a cache hierarchy but answers matrix-vector
+//     requests from an embedded crossbar, in place.
+package hybrid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cimrev/internal/crossbar"
+	"cimrev/internal/dataflow"
+	"cimrev/internal/energy"
+	"cimrev/internal/vonneumann"
+)
+
+// ControlNodeFunc wraps a Von Neumann machine as a dataflow node: transform
+// runs on the embedded core and its cost is priced by the roofline model at
+// flopsPerElement arithmetic per vector element.
+func ControlNodeFunc(m vonneumann.Machine, flopsPerElement float64, transform func([]float64) []float64) (dataflow.NodeFunc, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if flopsPerElement <= 0 {
+		return nil, fmt.Errorf("hybrid: flopsPerElement must be positive, got %g", flopsPerElement)
+	}
+	if transform == nil {
+		return nil, fmt.Errorf("hybrid: nil transform")
+	}
+	return func(_ *dataflow.State, in []float64) ([]float64, energy.Cost, error) {
+		out := transform(append([]float64(nil), in...))
+		k := vonneumann.Kernel{
+			Name:  "control",
+			Flops: flopsPerElement * float64(len(in)),
+			Bytes: 16 * float64(len(in)), // in + out through the core's memory
+		}
+		cost, err := m.Run(k)
+		if err != nil {
+			return nil, energy.Zero, err
+		}
+		return out, cost, nil
+	}, nil
+}
+
+// AcceleratedMemory is a Von Neumann memory system with an embedded
+// crossbar: plain accesses go through the cache hierarchy; GEMV requests
+// compute in the memory itself.
+type AcceleratedMemory struct {
+	hier *vonneumann.Hierarchy
+	cpu  vonneumann.Machine
+	tile *crossbar.Tile
+	rng  *rand.Rand
+
+	weights [][]float64
+}
+
+// NewAcceleratedMemory builds the hybrid memory. The crossbar config
+// governs the in-memory accelerator.
+func NewAcceleratedMemory(hcfg vonneumann.HierarchyConfig, xcfg crossbar.Config, seed int64) (*AcceleratedMemory, error) {
+	hier, err := vonneumann.NewHierarchy(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	tile, err := crossbar.NewTile(xcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AcceleratedMemory{
+		hier: hier,
+		cpu:  vonneumann.CPU(),
+		tile: tile,
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Access performs one ordinary load through the cache hierarchy.
+func (a *AcceleratedMemory) Access(addr uint64) (vonneumann.Level, energy.Cost) {
+	return a.hier.Access(addr)
+}
+
+// InstallMatrix programs the matrix into the in-memory accelerator (and
+// keeps a host copy for the host-side comparison path).
+func (a *AcceleratedMemory) InstallMatrix(w [][]float64) (energy.Cost, error) {
+	cost, err := a.tile.Program(w)
+	if err != nil {
+		return energy.Zero, err
+	}
+	a.weights = make([][]float64, len(w))
+	for i, row := range w {
+		a.weights[i] = append([]float64(nil), row...)
+	}
+	return cost, nil
+}
+
+// GEMVOffloaded answers y = W·x inside the memory: the host only pays to
+// send x and receive y over the memory interface; the product happens in
+// the arrays.
+func (a *AcceleratedMemory) GEMVOffloaded(x []float64) ([]float64, energy.Cost, error) {
+	if a.weights == nil {
+		return nil, energy.Zero, fmt.Errorf("hybrid: no matrix installed")
+	}
+	y, cost, err := a.tile.MVM(x, a.rng)
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+	// Command + operand transfer across the memory bus.
+	busBytes := 8 * float64(len(x)+len(y))
+	cost = cost.Seq(energy.Cost{
+		LatencyPS: energy.PicosecondsFromSeconds(busBytes / energy.CPUMemBandwidth),
+		EnergyPJ:  busBytes * energy.DRAMAccessEnergyPJPerByte,
+	})
+	return y, cost, nil
+}
+
+// GEMVHost computes y = W·x on the host CPU, charging one cache-hierarchy
+// access per weight element touched plus the roofline arithmetic.
+func (a *AcceleratedMemory) GEMVHost(x []float64) ([]float64, energy.Cost, error) {
+	if a.weights == nil {
+		return nil, energy.Zero, fmt.Errorf("hybrid: no matrix installed")
+	}
+	rows := len(a.weights)
+	if len(x) != rows {
+		return nil, energy.Zero, fmt.Errorf("hybrid: input length %d != rows %d", len(x), rows)
+	}
+	cols := len(a.weights[0])
+	y := make([]float64, cols)
+	total := energy.Zero
+	const elemBytes = 8
+	base := uint64(1 << 30) // weight array's address region
+	line := uint64(a.hier.LineSize())
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			y[c] += a.weights[r][c] * x[r]
+			addr := base + uint64(r*cols+c)*elemBytes
+			// One hierarchy access per cache line touched.
+			if addr%line < elemBytes {
+				_, cost := a.hier.Access(addr)
+				total = total.Seq(cost)
+			}
+		}
+	}
+	k := vonneumann.Kernel{Name: "gemv-host", Flops: 2 * float64(rows) * float64(cols)}
+	arith, err := a.cpu.Run(k)
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+	return y, total.Seq(arith), nil
+}

@@ -1,0 +1,174 @@
+package hybrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cimrev/internal/crossbar"
+	"cimrev/internal/dataflow"
+	"cimrev/internal/energy"
+	"cimrev/internal/packet"
+	"cimrev/internal/vonneumann"
+)
+
+func TestControlNodeFuncValidation(t *testing.T) {
+	cpu := vonneumann.CPU()
+	if _, err := ControlNodeFunc(cpu, 0, func(v []float64) []float64 { return v }); err == nil {
+		t.Error("zero flops accepted")
+	}
+	if _, err := ControlNodeFunc(cpu, 1, nil); err == nil {
+		t.Error("nil transform accepted")
+	}
+	if _, err := ControlNodeFunc(vonneumann.Machine{}, 1, func(v []float64) []float64 { return v }); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestControlNodeFuncInDataflow(t *testing.T) {
+	// A Von Neumann control core inside a CIM dataflow graph (Section
+	// III.F "Von Neumann within CIM").
+	fn, err := ControlNodeFunc(vonneumann.CPU(), 10, func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i, x := range v {
+			out[i] = x * 2
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataflow.NewGraph()
+	id, err := g.AddNode("control", packet.Address{Unit: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := energy.NewLedger()
+	e, err := dataflow.NewEngine(g, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Inject(id, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[id]
+	if len(res) != 1 || res[0][1] != 4 {
+		t.Errorf("control node output = %v", res)
+	}
+	if led.Category("compute").EnergyPJ == 0 {
+		t.Error("control core charged no energy")
+	}
+}
+
+func newAccel(t *testing.T) *AcceleratedMemory {
+	t.Helper()
+	xcfg := crossbar.DefaultConfig()
+	xcfg.Functional = true
+	a, err := NewAcceleratedMemory(vonneumann.DefaultHierarchy(), xcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAcceleratedMemoryPlainAccess(t *testing.T) {
+	a := newAccel(t)
+	level, cost := a.Access(0)
+	if level != vonneumann.LevelDRAM || cost.LatencyPS == 0 {
+		t.Errorf("cold access = %v, %v", level, cost)
+	}
+	level, _ = a.Access(0)
+	if level != vonneumann.LevelL1 {
+		t.Errorf("warm access = %v", level)
+	}
+}
+
+func TestGEMVOffloadedMatchesHost(t *testing.T) {
+	a := newAccel(t)
+	rng := rand.New(rand.NewSource(2))
+	const n = 96
+	w := make([][]float64, n)
+	for r := range w {
+		w[r] = make([]float64, n)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	if _, err := a.InstallMatrix(w); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	yOff, _, err := a.GEMVOffloaded(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yHost, _, err := a.GEMVHost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range yHost {
+		if math.Abs(yOff[c]-yHost[c]) > 0.05*float64(n) {
+			t.Errorf("col %d: offloaded %g vs host %g", c, yOff[c], yHost[c])
+		}
+	}
+}
+
+func TestOffloadBeatsHostOnLatency(t *testing.T) {
+	// The point of CIM-within-VN: in-memory MVM avoids streaming the
+	// matrix through the cache hierarchy.
+	a := newAccel(t)
+	rng := rand.New(rand.NewSource(3))
+	const n = 256
+	w := make([][]float64, n)
+	for r := range w {
+		w[r] = make([]float64, n)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()
+		}
+	}
+	if _, err := a.InstallMatrix(w); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	_, offCost, err := a.GEMVOffloaded(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hostCost, err := a.GEMVHost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offCost.LatencyPS >= hostCost.LatencyPS {
+		t.Errorf("offload %d ps not below host %d ps", offCost.LatencyPS, hostCost.LatencyPS)
+	}
+}
+
+func TestGEMVBeforeInstall(t *testing.T) {
+	a := newAccel(t)
+	if _, _, err := a.GEMVOffloaded([]float64{1}); err == nil {
+		t.Error("offload without matrix accepted")
+	}
+	if _, _, err := a.GEMVHost([]float64{1}); err == nil {
+		t.Error("host GEMV without matrix accepted")
+	}
+}
+
+func TestGEMVHostInputValidation(t *testing.T) {
+	a := newAccel(t)
+	if _, err := a.InstallMatrix([][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.GEMVHost([]float64{1}); err == nil {
+		t.Error("wrong input length accepted")
+	}
+}

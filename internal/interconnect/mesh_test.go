@@ -1,0 +1,355 @@
+package interconnect
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/metrics"
+)
+
+func newMesh(t *testing.T, w, h int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(w, h, 10e9, metrics.NewRegistry())
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	return m
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 4, 1e9, nil); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewMesh(4, -1, 1e9, nil); err == nil {
+		t.Error("negative height should fail")
+	}
+	if _, err := NewMesh(4, 4, 0, nil); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	path, err := m.Route(Coord{0, 0}, Coord{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Coord{{1, 0}, {2, 0}, {2, 1}}
+	if !reflect.DeepEqual(path, want) {
+		t.Errorf("Route = %v, want %v", path, want)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	path, err := m.Route(Coord{1, 1}, Coord{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 0 {
+		t.Errorf("self route = %v, want empty", path)
+	}
+}
+
+func TestRouteNegativeDirections(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	path, err := m.Route(Coord{3, 3}, Coord{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 6 {
+		t.Errorf("path length = %d, want 6", len(path))
+	}
+	if path[len(path)-1] != (Coord{0, 0}) {
+		t.Errorf("path ends at %v, want (0,0)", path[len(path)-1])
+	}
+}
+
+func TestRouteBounds(t *testing.T) {
+	m := newMesh(t, 2, 2)
+	if _, err := m.Route(Coord{-1, 0}, Coord{0, 0}); err == nil {
+		t.Error("out-of-bounds src should fail")
+	}
+	if _, err := m.Route(Coord{0, 0}, Coord{2, 0}); err == nil {
+		t.Error("out-of-bounds dst should fail")
+	}
+}
+
+// Property: route length equals Manhattan distance.
+func TestRouteManhattanProperty(t *testing.T) {
+	m := newMesh(t, 8, 8)
+	f := func(sx, sy, dx, dy uint8) bool {
+		src := Coord{int(sx) % 8, int(sy) % 8}
+		dst := Coord{int(dx) % 8, int(dy) % 8}
+		path, err := m.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		manhattan := abs(src.X-dst.X) + abs(src.Y-dst.Y)
+		return len(path) == manhattan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTransferCostScalesWithDistanceAndSize(t *testing.T) {
+	m := newMesh(t, 8, 8)
+	near, err := m.Transfer(1, Coord{0, 0}, Coord{1, 0}, 1000, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := m.Transfer(1, Coord{0, 0}, Coord{7, 7}, 1000, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.LatencyPS <= near.LatencyPS {
+		t.Errorf("far transfer %d ps not slower than near %d ps", far.LatencyPS, near.LatencyPS)
+	}
+	small, err := m.Transfer(1, Coord{0, 0}, Coord{1, 0}, 10, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.LatencyPS <= small.LatencyPS {
+		t.Errorf("1000B transfer %d ps not slower than 10B %d ps", near.LatencyPS, small.LatencyPS)
+	}
+	if near.EnergyPJ <= small.EnergyPJ {
+		t.Error("larger transfer should cost more energy")
+	}
+}
+
+func TestTransferZeroAndSelf(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	c, err := m.Transfer(1, Coord{1, 1}, Coord{1, 1}, 1000, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != energy.Zero {
+		t.Errorf("self transfer cost = %v, want zero", c)
+	}
+	c, err = m.Transfer(1, Coord{0, 0}, Coord{1, 1}, 0, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != energy.Zero {
+		t.Errorf("zero-byte transfer cost = %v, want zero", c)
+	}
+	if _, err := m.Transfer(1, Coord{0, 0}, Coord{1, 1}, -1, BestEffort); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestReserveLaneQoS(t *testing.T) {
+	m := newMesh(t, 4, 1)
+	src, dst := Coord{0, 0}, Coord{3, 0}
+
+	// Without a reservation, Guaranteed fails.
+	if _, err := m.Transfer(7, src, dst, 100, Guaranteed); err == nil {
+		t.Error("Guaranteed without reservation should fail")
+	}
+
+	if err := m.ReserveLane(7, src, dst, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Transfer(7, src, dst, 1_000_000, Guaranteed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := m.Transfer(8, src, dst, 1_000_000, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both see 50% of the link: reserved share vs unreserved remainder.
+	if g.LatencyPS != be.LatencyPS {
+		t.Errorf("guaranteed %d ps vs best-effort %d ps, want equal at 50/50 split", g.LatencyPS, be.LatencyPS)
+	}
+
+	// A second large reservation squeezes best-effort but not stream 7.
+	if err := m.ReserveLane(9, src, dst, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.Transfer(7, src, dst, 1_000_000, Guaranteed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.LatencyPS != g.LatencyPS {
+		t.Errorf("guaranteed latency changed %d -> %d under interference", g.LatencyPS, g2.LatencyPS)
+	}
+	be2, err := m.Transfer(8, src, dst, 1_000_000, BestEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be2.LatencyPS <= be.LatencyPS {
+		t.Errorf("best-effort latency %d should grow after more reservation (was %d)", be2.LatencyPS, be.LatencyPS)
+	}
+}
+
+func TestReserveLaneOverSubscription(t *testing.T) {
+	m := newMesh(t, 2, 1)
+	src, dst := Coord{0, 0}, Coord{1, 0}
+	if err := m.ReserveLane(1, src, dst, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveLane(2, src, dst, 0.6); err == nil {
+		t.Error("over-subscription should fail")
+	}
+	if err := m.ReserveLane(3, src, dst, 0.95); err == nil {
+		t.Error("fraction > 0.9 should fail")
+	}
+	if err := m.ReserveLane(3, src, dst, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+}
+
+func TestReleaseLane(t *testing.T) {
+	m := newMesh(t, 2, 1)
+	src, dst := Coord{0, 0}, Coord{1, 0}
+	if err := m.ReserveLane(1, src, dst, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseLane(1)
+	// Full reservation is available again.
+	if err := m.ReserveLane(2, src, dst, 0.9); err != nil {
+		t.Errorf("reservation after release failed: %v", err)
+	}
+	// Released stream can no longer transfer guaranteed.
+	if _, err := m.Transfer(1, src, dst, 10, Guaranteed); err == nil {
+		t.Error("released stream should have no guaranteed lane")
+	}
+}
+
+func TestLoads(t *testing.T) {
+	m := newMesh(t, 3, 1)
+	// Two transfers cross link (0,0)->(1,0); one crosses (1,0)->(2,0).
+	if _, err := m.Transfer(1, Coord{0, 0}, Coord{1, 0}, 100, BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transfer(1, Coord{0, 0}, Coord{2, 0}, 100, BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	loads := m.Loads()
+	if len(loads) != 2 {
+		t.Fatalf("Loads returned %d links, want 2", len(loads))
+	}
+	if loads[0].Bytes != 200 || loads[0].From != (Coord{0, 0}) {
+		t.Errorf("hottest link = %+v, want (0,0)->(1,0) with 200B", loads[0])
+	}
+	if loads[1].Bytes != 100 {
+		t.Errorf("second link bytes = %g, want 100", loads[1].Bytes)
+	}
+}
+
+func TestMeshMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m, err := NewMesh(4, 4, 1e9, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transfer(1, Coord{0, 0}, Coord{3, 3}, 100, BestEffort); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["mesh.transfers"] != 1 {
+		t.Errorf("mesh.transfers = %d, want 1", s.Counters["mesh.transfers"])
+	}
+	if s.Means["mesh.hops"] != 6 {
+		t.Errorf("mesh.hops mean = %g, want 6", s.Means["mesh.hops"])
+	}
+}
+
+func TestPhotonicLinkDistanceIndependentEnergy(t *testing.T) {
+	short, err := NewPhotonicLink(0.1, 100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewPhotonicLink(1000, 100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := short.Transfer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := long.Transfer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.EnergyPJ != cl.EnergyPJ {
+		t.Errorf("photonic energy must be distance-independent: %g vs %g", cs.EnergyPJ, cl.EnergyPJ)
+	}
+	if cl.LatencyPS <= cs.LatencyPS {
+		t.Errorf("longer link must add time of flight: %d vs %d", cl.LatencyPS, cs.LatencyPS)
+	}
+	// 1 km at 2e8 m/s is 5 us of flight.
+	flight := cl.LatencyPS - cs.LatencyPS
+	wantFlight := energy.PicosecondsFromSeconds((1000 - 0.1) / energy.SpeedOfLightMPerS)
+	if math.Abs(float64(flight-wantFlight)) > 1e6 {
+		t.Errorf("flight delta = %d ps, want ~%d ps", flight, wantFlight)
+	}
+}
+
+func TestPhotonicLinkValidation(t *testing.T) {
+	if _, err := NewPhotonicLink(-1, 1e9); err == nil {
+		t.Error("negative length should fail")
+	}
+	if _, err := NewPhotonicLink(1, 0); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	l, err := NewPhotonicLink(1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Transfer(-1); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestSystemCrossBoardTransfer(t *testing.T) {
+	s, err := NewSystem(2, 4, 4, 10e9, 1.0, 100e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := s.Transfer(1, 0, Coord{0, 0}, 0, Coord{3, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := s.Transfer(1, 0, Coord{0, 0}, 1, Coord{3, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.LatencyPS <= same.LatencyPS {
+		t.Errorf("cross-board %d ps should exceed same-board %d ps", cross.LatencyPS, same.LatencyPS)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, 2, 2, 1e9, 1, 1e9); err == nil {
+		t.Error("zero boards should fail")
+	}
+	s, err := NewSystem(2, 2, 2, 1e9, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Boards() != 2 {
+		t.Errorf("Boards = %d, want 2", s.Boards())
+	}
+	if _, err := s.Board(5); err == nil {
+		t.Error("out-of-range board should fail")
+	}
+	if _, err := s.Transfer(1, -1, Coord{}, 0, Coord{}, 10); err == nil {
+		t.Error("bad src board should fail")
+	}
+	if _, err := s.Transfer(1, 0, Coord{}, 9, Coord{}, 10); err == nil {
+		t.Error("bad dst board should fail")
+	}
+}

@@ -1,0 +1,119 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cimrev/internal/packet"
+)
+
+// Binary program format, designed to travel inside packet Code fields:
+//
+//	magic   uint16  0xC1A0
+//	count   uint16  instruction count
+//	then per instruction:
+//	  op     uint8
+//	  unit   3x uint16
+//	  unit2  3x uint16
+//	  fn     uint8
+//	  rows   uint16
+//	  cols   uint16
+//	  nData  uint32
+//	  data   nData x float64
+const programMagic = 0xC1A0
+
+// Encode serializes the program to its binary form after validating it.
+func (p Program) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p) > math.MaxUint16 {
+		return nil, fmt.Errorf("isa: program too long (%d instructions)", len(p))
+	}
+	buf := make([]byte, 0, 64*len(p))
+	buf = binary.BigEndian.AppendUint16(buf, programMagic)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p)))
+	for i, in := range p {
+		if len(in.Data) > math.MaxUint32 {
+			return nil, fmt.Errorf("isa: instruction %d data too large", i)
+		}
+		if in.Rows > math.MaxUint16 || in.Cols > math.MaxUint16 {
+			return nil, fmt.Errorf("isa: instruction %d shape too large (%dx%d)", i, in.Rows, in.Cols)
+		}
+		buf = append(buf, byte(in.Op))
+		buf = appendAddr(buf, in.Unit)
+		buf = appendAddr(buf, in.Unit2)
+		buf = append(buf, byte(in.Fn))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(in.Rows))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(in.Cols))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(in.Data)))
+		for _, v := range in.Data {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+func appendAddr(buf []byte, a packet.Address) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, a.Board)
+	buf = binary.BigEndian.AppendUint16(buf, a.Tile)
+	buf = binary.BigEndian.AppendUint16(buf, a.Unit)
+	return buf
+}
+
+// Decode parses a binary program and validates it.
+func Decode(data []byte) (Program, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("isa: truncated program header")
+	}
+	if binary.BigEndian.Uint16(data) != programMagic {
+		return nil, fmt.Errorf("isa: bad magic %#x", binary.BigEndian.Uint16(data))
+	}
+	count := int(binary.BigEndian.Uint16(data[2:]))
+	off := 4
+	p := make(Program, 0, count)
+	const fixed = 1 + 6 + 6 + 1 + 2 + 2 + 4
+	for i := 0; i < count; i++ {
+		if len(data)-off < fixed {
+			return nil, fmt.Errorf("isa: truncated instruction %d", i)
+		}
+		var in Instruction
+		in.Op = Opcode(data[off])
+		off++
+		in.Unit, off = readAddr(data, off)
+		in.Unit2, off = readAddr(data, off)
+		in.Fn = Function(data[off])
+		off++
+		in.Rows = int(binary.BigEndian.Uint16(data[off:]))
+		in.Cols = int(binary.BigEndian.Uint16(data[off+2:]))
+		nData := int(binary.BigEndian.Uint32(data[off+4:]))
+		off += 8
+		if len(data)-off < 8*nData {
+			return nil, fmt.Errorf("isa: truncated data in instruction %d", i)
+		}
+		if nData > 0 {
+			in.Data = make([]float64, nData)
+			for j := range in.Data {
+				in.Data[j] = math.Float64frombits(binary.BigEndian.Uint64(data[off:]))
+				off += 8
+			}
+		}
+		p = append(p, in)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("isa: %d trailing bytes", len(data)-off)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func readAddr(data []byte, off int) (packet.Address, int) {
+	return packet.Address{
+		Board: binary.BigEndian.Uint16(data[off:]),
+		Tile:  binary.BigEndian.Uint16(data[off+2:]),
+		Unit:  binary.BigEndian.Uint16(data[off+4:]),
+	}, off + 6
+}

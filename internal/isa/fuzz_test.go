@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+
+	"cimrev/internal/packet"
+)
+
+// FuzzDecode hardens the binary program decoder against program-carrying
+// packets from untrusted sources: no panics, and every accepted program is
+// valid and re-encodes canonically.
+func FuzzDecode(f *testing.F) {
+	prog := Program{
+		{Op: OpLoadWeights, Unit: packet.Address{Tile: 1}, Rows: 1, Cols: 2, Data: []float64{1, 2}},
+		{Op: OpConfigure, Unit: packet.Address{Tile: 1}, Fn: FuncMVM},
+		{Op: OpHalt},
+	}
+	bin, err := prog.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin)
+	f.Add([]byte{0xC1, 0xA0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode returned invalid program: %v", err)
+		}
+		re, err := p.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip not canonical")
+		}
+	})
+}
+
+// FuzzAssemble hardens the assembler against arbitrary source text.
+func FuzzAssemble(f *testing.F) {
+	f.Add("configure 0/0/0 relu\nhalt\n")
+	f.Add("loadweights 0/0/0 2 2 1,2,3,4\nconfigure 0/0/0 mvm\nhalt\n")
+	f.Add("# comment only\n")
+	f.Add("stream 0/0/0 1e308,-1e308\nhalt\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Anything that assembles must disassemble and re-assemble to the
+		// same program.
+		again, err := Assemble(p.Disassemble())
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v", err)
+		}
+		if len(again) != len(p) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(p))
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package isa defines the CIM instruction set the paper's programming
+// models compile to (Section III.B: "Through the instruction set,
+// applications can program the CIM crossbars to implement a target neural
+// network"; Section III.D: languages "map onto the control and processing
+// instruction sets for CIM").
+//
+// A Program is a sequence of instructions that configures units, loads
+// weights, wires the dataflow graph, and streams data. Programs have both a
+// human-readable assembly form (Assemble/Disassemble) and a compact binary
+// form (Encode/Decode) so they can ride inside packets for the
+// self-programmable dataflow model.
+package isa
+
+import (
+	"fmt"
+	"math"
+
+	"cimrev/internal/packet"
+)
+
+// Opcode enumerates CIM instructions.
+type Opcode uint8
+
+const (
+	// OpConfigure assigns a function to a unit.
+	OpConfigure Opcode = iota + 1
+	// OpLoadWeights programs a unit's crossbar with a weight matrix.
+	OpLoadWeights
+	// OpConnect adds a dataflow edge from one unit's output to another's
+	// input.
+	OpConnect
+	// OpStream injects data into a unit.
+	OpStream
+	// OpBarrier waits for the pipeline to drain.
+	OpBarrier
+	// OpHalt ends the program.
+	OpHalt
+)
+
+// String returns the assembly mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpConfigure:
+		return "configure"
+	case OpLoadWeights:
+		return "loadweights"
+	case OpConnect:
+		return "connect"
+	case OpStream:
+		return "stream"
+	case OpBarrier:
+		return "barrier"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Function enumerates the operations a configured unit can perform.
+type Function uint8
+
+const (
+	// FuncForward passes inputs through unchanged (routing/fan-out).
+	FuncForward Function = iota + 1
+	// FuncMVM performs crossbar matrix-vector multiplication.
+	FuncMVM
+	// FuncReLU applies max(0, x) elementwise.
+	FuncReLU
+	// FuncSigmoid applies 1/(1+e^-x) elementwise.
+	FuncSigmoid
+	// FuncAccumulate sums successive inputs elementwise.
+	FuncAccumulate
+	// FuncMaxPool emits the running elementwise maximum.
+	FuncMaxPool
+	// FuncTanh applies tanh(x) elementwise.
+	FuncTanh
+	// FuncSoftmax normalizes the vector into a probability distribution.
+	FuncSoftmax
+)
+
+// String returns the function mnemonic.
+func (f Function) String() string {
+	switch f {
+	case FuncForward:
+		return "forward"
+	case FuncMVM:
+		return "mvm"
+	case FuncReLU:
+		return "relu"
+	case FuncSigmoid:
+		return "sigmoid"
+	case FuncAccumulate:
+		return "accumulate"
+	case FuncMaxPool:
+		return "maxpool"
+	case FuncTanh:
+		return "tanh"
+	case FuncSoftmax:
+		return "softmax"
+	default:
+		return fmt.Sprintf("func(%d)", uint8(f))
+	}
+}
+
+// ParseFunction maps a mnemonic back to a Function.
+func ParseFunction(s string) (Function, error) {
+	switch s {
+	case "forward":
+		return FuncForward, nil
+	case "mvm":
+		return FuncMVM, nil
+	case "relu":
+		return FuncReLU, nil
+	case "sigmoid":
+		return FuncSigmoid, nil
+	case "accumulate":
+		return FuncAccumulate, nil
+	case "maxpool":
+		return FuncMaxPool, nil
+	case "tanh":
+		return FuncTanh, nil
+	case "softmax":
+		return FuncSoftmax, nil
+	default:
+		return 0, fmt.Errorf("isa: unknown function %q", s)
+	}
+}
+
+// Instruction is one CIM instruction. Field use depends on Op:
+//
+//	OpConfigure:   Unit, Fn
+//	OpLoadWeights: Unit, Rows, Cols, Data (row-major, Rows*Cols values)
+//	OpConnect:     Unit (source), Unit2 (destination)
+//	OpStream:      Unit, Data
+//	OpBarrier:     no fields
+//	OpHalt:        no fields
+type Instruction struct {
+	Op    Opcode
+	Unit  packet.Address
+	Unit2 packet.Address
+	Fn    Function
+	Rows  int
+	Cols  int
+	Data  []float64
+}
+
+// Validate reports whether the instruction is well-formed.
+func (in Instruction) Validate() error {
+	switch in.Op {
+	case OpConfigure:
+		if in.Fn < FuncForward || in.Fn > FuncSoftmax {
+			return fmt.Errorf("isa: configure with invalid function %d", in.Fn)
+		}
+	case OpLoadWeights:
+		if in.Rows <= 0 || in.Cols <= 0 {
+			return fmt.Errorf("isa: loadweights with non-positive shape %dx%d", in.Rows, in.Cols)
+		}
+		if len(in.Data) != in.Rows*in.Cols {
+			return fmt.Errorf("isa: loadweights data length %d != %dx%d", len(in.Data), in.Rows, in.Cols)
+		}
+		for _, v := range in.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("isa: loadweights with non-finite value")
+			}
+		}
+	case OpConnect:
+		if in.Unit == in.Unit2 {
+			return fmt.Errorf("isa: connect unit %v to itself", in.Unit)
+		}
+	case OpStream:
+		if len(in.Data) == 0 {
+			return fmt.Errorf("isa: stream with empty data")
+		}
+	case OpBarrier, OpHalt:
+		// No operands.
+	default:
+		return fmt.Errorf("isa: unknown opcode %d", in.Op)
+	}
+	return nil
+}
+
+// Program is a sequence of instructions.
+type Program []Instruction
+
+// Validate checks every instruction and that a terminating halt exists.
+func (p Program) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	for i, in := range p {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	if p[len(p)-1].Op != OpHalt {
+		return fmt.Errorf("isa: program must end with halt")
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cimrev/internal/packet"
+)
+
+func sampleProgram() Program {
+	return Program{
+		{Op: OpConfigure, Unit: packet.Address{Tile: 1, Unit: 1}, Fn: FuncMVM},
+		{Op: OpLoadWeights, Unit: packet.Address{Tile: 1, Unit: 1}, Rows: 2, Cols: 2, Data: []float64{1, 0.5, -0.5, 1}},
+		{Op: OpConfigure, Unit: packet.Address{Tile: 1, Unit: 2}, Fn: FuncReLU},
+		{Op: OpConnect, Unit: packet.Address{Tile: 1, Unit: 1}, Unit2: packet.Address{Tile: 1, Unit: 2}},
+		{Op: OpStream, Unit: packet.Address{Tile: 1, Unit: 1}, Data: []float64{0.25, -0.75}},
+		{Op: OpBarrier},
+		{Op: OpHalt},
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := sampleProgram().Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	if err := (Program{}).Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+	noHalt := Program{{Op: OpBarrier}}
+	if err := noHalt.Validate(); err == nil {
+		t.Error("program without halt accepted")
+	}
+}
+
+func TestInstructionValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instruction
+		ok   bool
+	}{
+		{"configure ok", Instruction{Op: OpConfigure, Fn: FuncMVM}, true},
+		{"configure bad fn", Instruction{Op: OpConfigure, Fn: Function(99)}, false},
+		{"configure zero fn", Instruction{Op: OpConfigure}, false},
+		{"loadweights ok", Instruction{Op: OpLoadWeights, Rows: 1, Cols: 2, Data: []float64{1, 2}}, true},
+		{"loadweights shape mismatch", Instruction{Op: OpLoadWeights, Rows: 2, Cols: 2, Data: []float64{1}}, false},
+		{"loadweights zero rows", Instruction{Op: OpLoadWeights, Rows: 0, Cols: 1, Data: nil}, false},
+		{"loadweights nan", Instruction{Op: OpLoadWeights, Rows: 1, Cols: 1, Data: []float64{math.NaN()}}, false},
+		{"connect ok", Instruction{Op: OpConnect, Unit: packet.Address{Unit: 1}, Unit2: packet.Address{Unit: 2}}, true},
+		{"connect self", Instruction{Op: OpConnect, Unit: packet.Address{Unit: 1}, Unit2: packet.Address{Unit: 1}}, false},
+		{"stream ok", Instruction{Op: OpStream, Data: []float64{1}}, true},
+		{"stream empty", Instruction{Op: OpStream}, false},
+		{"barrier", Instruction{Op: OpBarrier}, true},
+		{"halt", Instruction{Op: OpHalt}, true},
+		{"unknown op", Instruction{Op: Opcode(99)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.in.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decode([]byte{0, 0, 0, 1}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data, err := sampleProgram().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)-1]); err == nil {
+		t.Error("truncated program accepted")
+	}
+	if _, err := Decode(append(data, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	bad := Program{{Op: OpStream}} // empty data, no halt
+	if _, err := bad.Encode(); err == nil {
+		t.Error("invalid program encoded")
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	asm := p.Disassemble()
+	got, err := Assemble(asm)
+	if err != nil {
+		t.Fatalf("Assemble(Disassemble(p)): %v\nsource:\n%s", err, asm)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("asm round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := `
+# configure the first stage
+configure 0/1/1 mvm   # crossbar unit
+
+halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Errorf("program length = %d, want 2", len(p))
+	}
+	if p[0].Fn != FuncMVM {
+		t.Errorf("fn = %v, want mvm", p[0].Fn)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "jump 0/0/0\nhalt"},
+		{"bad address", "configure 0-0-0 mvm\nhalt"},
+		{"bad address parts", "configure 0/0 mvm\nhalt"},
+		{"bad function", "configure 0/0/0 teleport\nhalt"},
+		{"configure arity", "configure 0/0/0\nhalt"},
+		{"loadweights arity", "loadweights 0/0/0 2 2\nhalt"},
+		{"loadweights bad rows", "loadweights 0/0/0 x 2 1,2\nhalt"},
+		{"loadweights bad value", "loadweights 0/0/0 1 2 1,abc\nhalt"},
+		{"loadweights shape", "loadweights 0/0/0 2 2 1,2\nhalt"},
+		{"connect arity", "connect 0/0/0\nhalt"},
+		{"connect self", "connect 0/0/0 0/0/0\nhalt"},
+		{"stream arity", "stream 0/0/0\nhalt"},
+		{"no halt", "barrier"},
+		{"empty", "   \n# only comments\n"},
+		{"address overflow", "configure 99999/0/0 mvm\nhalt"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble(tt.src); err == nil {
+				t.Errorf("Assemble accepted bad source:\n%s", tt.src)
+			}
+		})
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	ops := map[Opcode]string{
+		OpConfigure: "configure", OpLoadWeights: "loadweights", OpConnect: "connect",
+		OpStream: "stream", OpBarrier: "barrier", OpHalt: "halt", Opcode(77): "op(77)",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("Opcode(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestFunctionParseStringRoundTrip(t *testing.T) {
+	for fn := FuncForward; fn <= FuncMaxPool; fn++ {
+		got, err := ParseFunction(fn.String())
+		if err != nil {
+			t.Errorf("ParseFunction(%q): %v", fn.String(), err)
+			continue
+		}
+		if got != fn {
+			t.Errorf("ParseFunction(%q) = %v, want %v", fn.String(), got, fn)
+		}
+	}
+	if _, err := ParseFunction("bogus"); err == nil {
+		t.Error("ParseFunction accepted bogus name")
+	}
+	if s := Function(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown function string = %q", s)
+	}
+}
+
+// Property: Encode/Decode round-trips random valid programs.
+func TestEncodeDecodeProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			p := make(Program, 0, n+1)
+			for i := 0; i < n; i++ {
+				switch r.Intn(5) {
+				case 0:
+					p = append(p, Instruction{Op: OpConfigure,
+						Unit: randAddr(r), Fn: Function(1 + r.Intn(6))})
+				case 1:
+					rows, cols := 1+r.Intn(3), 1+r.Intn(3)
+					data := make([]float64, rows*cols)
+					for j := range data {
+						data[j] = r.NormFloat64()
+					}
+					p = append(p, Instruction{Op: OpLoadWeights, Unit: randAddr(r),
+						Rows: rows, Cols: cols, Data: data})
+				case 2:
+					a, b := randAddr(r), randAddr(r)
+					if a == b {
+						b.Unit++
+					}
+					p = append(p, Instruction{Op: OpConnect, Unit: a, Unit2: b})
+				case 3:
+					data := make([]float64, 1+r.Intn(5))
+					for j := range data {
+						data[j] = r.NormFloat64()
+					}
+					p = append(p, Instruction{Op: OpStream, Unit: randAddr(r), Data: data})
+				default:
+					p = append(p, Instruction{Op: OpBarrier})
+				}
+			}
+			p = append(p, Instruction{Op: OpHalt})
+			vals[0] = reflect.ValueOf(p)
+		},
+	}
+	f := func(p Program) bool {
+		data, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randAddr(r *rand.Rand) packet.Address {
+	return packet.Address{
+		Board: uint16(r.Intn(4)),
+		Tile:  uint16(r.Intn(8)),
+		Unit:  uint16(r.Intn(16)),
+	}
+}
+
+// Property: assembly round-trips random valid programs.
+func TestAssembleRoundTripProperty(t *testing.T) {
+	p := sampleProgram()
+	for i := 0; i < 3; i++ { // idempotence across repeated round trips
+		asm := p.Disassemble()
+		got, err := Assemble(asm)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("round %d mismatch", i)
+		}
+		p = got
+	}
+}

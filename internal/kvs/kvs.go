@@ -1,0 +1,113 @@
+// Package kvs is the key-value-store substrate for the paper's "KVSs
+// (persistency layer)" application class (Appendix A). It models the
+// persistence property Section II.B attributes to CIM: "application state
+// can be constantly captured over time and upon reboot or restart (due to
+// failure) it will be available to continue computation" — a Store
+// checkpoints to a snapshot and restores from it after a crash.
+package kvs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is an in-memory KV store with snapshot persistence. Safe for
+// concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	gets, puts, deletes int64
+	bytesMoved          int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Put stores value under key (copying the value).
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return fmt.Errorf("kvs: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = append([]byte(nil), value...)
+	s.puts++
+	s.bytesMoved += int64(len(key) + len(value))
+	return nil
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	s.gets++
+	if !ok {
+		return nil, false
+	}
+	s.bytesMoved += int64(len(key) + len(v))
+	return append([]byte(nil), v...), true
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.data[key]
+	if ok {
+		delete(s.data, key)
+		s.deletes++
+	}
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Stats returns operation counts and total bytes moved — the inputs to the
+// KVS workload characterization (low compute, high data, low operational
+// intensity).
+func (s *Store) Stats() (gets, puts, deletes, bytesMoved int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gets, s.puts, s.deletes, s.bytesMoved
+}
+
+// Snapshot captures the full state — the "constantly captured" application
+// state of Section II.B.
+type Snapshot struct {
+	data map[string][]byte
+}
+
+// Checkpoint returns a consistent snapshot.
+func (s *Store) Checkpoint() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{data: make(map[string][]byte, len(s.data))}
+	for k, v := range s.data {
+		snap.data[k] = append([]byte(nil), v...)
+	}
+	return snap
+}
+
+// Restore replaces the store's contents with the snapshot — recovery
+// "upon reboot or restart (due to failure)".
+func (s *Store) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("kvs: nil snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]byte, len(snap.data))
+	for k, v := range snap.data {
+		s.data[k] = append([]byte(nil), v...)
+	}
+	return nil
+}

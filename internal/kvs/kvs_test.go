@@ -1,0 +1,176 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if !s.Delete("k") {
+		t.Error("Delete reported missing")
+	}
+	if s.Delete("k") {
+		t.Error("second Delete reported present")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+	if err := s.Put("", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get("k")
+	v[0] = 'x'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Error("Get leaked internal buffer")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := NewStore()
+	val := []byte("abc")
+	if err := s.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'x'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Error("Put aliased caller buffer")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("key1", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("key1")
+	s.Get("missing")
+	s.Delete("key1")
+	gets, puts, deletes, moved := s.Stats()
+	if gets != 2 || puts != 1 || deletes != 1 {
+		t.Errorf("stats = %d gets, %d puts, %d deletes", gets, puts, deletes)
+	}
+	if moved != int64(len("key1")+len("value"))*2 {
+		t.Errorf("bytesMoved = %d", moved)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Checkpoint()
+
+	// "Crash": mutate state badly.
+	s.Delete("k3")
+	if err := s.Put("k5", []byte("corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("junk", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len after restore = %d, want 10", s.Len())
+	}
+	v, ok := s.Get("k3")
+	if !ok || v[0] != 3 {
+		t.Error("k3 not restored")
+	}
+	v, _ = s.Get("k5")
+	if v[0] != 5 {
+		t.Error("k5 not restored to checkpoint value")
+	}
+	if _, ok := s.Get("junk"); ok {
+		t.Error("post-checkpoint key survived restore")
+	}
+	if err := s.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestSnapshotIsolatedFromStore(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("k", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Checkpoint()
+	if err := s.Put("k", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get("k")
+	if string(v) != "a" {
+		t.Errorf("restored value = %q, want a", v)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			for j := 0; j < 50; j++ {
+				if err := s.Put(key, []byte{byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Get(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Errorf("Len = %d, want 16", s.Len())
+	}
+}
+
+// Property: a Put followed by Get returns the same bytes.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	f := func(key string, val []byte) bool {
+		if key == "" {
+			return true
+		}
+		if err := s.Put(key, val); err != nil {
+			return false
+		}
+		got, ok := s.Get(key)
+		if !ok {
+			return false
+		}
+		return string(got) == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

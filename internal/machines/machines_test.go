@@ -1,0 +1,109 @@
+package machines
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllSortedAndPositive(t *testing.T) {
+	recs := All()
+	if len(recs) < 10 {
+		t.Fatalf("database has %d records, want >= 10", len(recs))
+	}
+	prev := 0
+	for _, r := range recs {
+		if r.Year < prev {
+			t.Errorf("records out of order at %s (%d < %d)", r.Name, r.Year, prev)
+		}
+		prev = r.Year
+		if r.PeakFlops <= 0 || r.MemBW <= 0 {
+			t.Errorf("%s has non-positive figures", r.Name)
+		}
+	}
+}
+
+func TestFig2ShapeEarlyBalancedLateStarved(t *testing.T) {
+	recs := All()
+	first, last := recs[0], recs[len(recs)-1]
+	if r := first.BytesPerFlop(); r < 1 {
+		t.Errorf("earliest machine %s ratio = %g, want >= 1 (balanced era)", first.Name, r)
+	}
+	if r := last.BytesPerFlop(); r > 0.1 {
+		t.Errorf("latest machine %s ratio = %g, want <= 0.1 (starved era)", last.Name, r)
+	}
+	// Total decline spans at least 1.5 orders of magnitude.
+	decline := first.BytesPerFlop() / last.BytesPerFlop()
+	if decline < 30 {
+		t.Errorf("total decline = %gx, want >= 30x", decline)
+	}
+}
+
+func TestTrendSlopeNegative(t *testing.T) {
+	slope, err := TrendSlope(Series())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope >= -0.01 {
+		t.Errorf("trend slope = %g per year, want clearly negative", slope)
+	}
+}
+
+func TestTrendSlopeErrors(t *testing.T) {
+	if _, err := TrendSlope(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := TrendSlope([]Point{{Year: 2000, Ratio: 1}}); err == nil {
+		t.Error("single point accepted")
+	}
+	bad := []Point{{Year: 2000, Ratio: 1}, {Year: 2001, Ratio: 0}}
+	if _, err := TrendSlope(bad); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	same := []Point{{Year: 2000, Ratio: 1}, {Year: 2000, Ratio: 2}}
+	if _, err := TrendSlope(same); err == nil {
+		t.Error("degenerate year distribution accepted")
+	}
+}
+
+func TestDecadeMeansMonotoneDecline(t *testing.T) {
+	means := DecadeMeans(Series())
+	if len(means) < 4 {
+		t.Fatalf("decade means has %d entries, want >= 4", len(means))
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i].Ratio >= means[i-1].Ratio {
+			t.Errorf("decade %d ratio %g not below decade %d ratio %g",
+				means[i].Year, means[i].Ratio, means[i-1].Year, means[i-1].Ratio)
+		}
+	}
+}
+
+func TestDecadeMeansGeometric(t *testing.T) {
+	pts := []Point{
+		{Year: 1990, Ratio: 0.1},
+		{Year: 1991, Ratio: 10},
+	}
+	means := DecadeMeans(pts)
+	if len(means) != 1 {
+		t.Fatalf("means = %d entries, want 1", len(means))
+	}
+	if math.Abs(means[0].Ratio-1.0) > 1e-9 {
+		t.Errorf("geometric mean of {0.1, 10} = %g, want 1", means[0].Ratio)
+	}
+}
+
+func TestSeriesMatchesAll(t *testing.T) {
+	recs := All()
+	pts := Series()
+	if len(pts) != len(recs) {
+		t.Fatalf("series length %d != records %d", len(pts), len(recs))
+	}
+	for i := range recs {
+		if pts[i].Name != recs[i].Name {
+			t.Errorf("series[%d] = %s, want %s", i, pts[i].Name, recs[i].Name)
+		}
+		if pts[i].Ratio != recs[i].BytesPerFlop() {
+			t.Errorf("series[%d] ratio mismatch", i)
+		}
+	}
+}

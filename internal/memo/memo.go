@@ -1,0 +1,125 @@
+// Package memo implements the space-for-compute trade Section II.A says
+// persistent memory revitalizes: "The persistence of memory is shifting
+// the temporal and energy scalability of techniques that trade space and
+// compute, such as memoization."
+//
+// A Table caches function results in persistent in-memory storage (backed
+// by the kvs substrate, so it survives checkpoints and restarts). The cost
+// model makes the trade explicit: a hit costs one lookup; a miss costs the
+// computation plus a store. Because the cache is non-volatile, its value
+// compounds across restarts — unlike a DRAM cache that restarts cold.
+package memo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/kvs"
+	"cimrev/internal/metrics"
+)
+
+// Lookup/store costs: persistent-memory row accesses.
+const (
+	lookupLatencyPS = 50_000 // 50 ns NVM read
+	lookupEnergyPJ  = 5.0
+	storeLatencyPS  = 300_000 // 300 ns NVM write
+	storeEnergyPJ   = 50.0
+)
+
+// Func is a memoizable vector function with an explicit compute cost.
+type Func func(in []float64) ([]float64, energy.Cost, error)
+
+// Table memoizes one function over a persistent store.
+type Table struct {
+	name  string
+	fn    Func
+	store *kvs.Store
+	reg   *metrics.Registry
+}
+
+// NewTable wraps fn with a memo table in store. name namespaces the keys so
+// several tables can share one store. reg may be nil.
+func NewTable(name string, fn Func, store *kvs.Store, reg *metrics.Registry) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("memo: empty table name")
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("memo: nil function")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("memo: nil store")
+	}
+	return &Table{name: name, fn: fn, store: store, reg: reg}, nil
+}
+
+func (t *Table) key(in []float64) string {
+	buf := make([]byte, 8*len(in))
+	for i, v := range in {
+		binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return t.name + "/" + string(buf)
+}
+
+func encode(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decode(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("memo: corrupt cached value (%d bytes)", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// Call evaluates the function through the memo table, returning the result,
+// the cost actually paid, and whether it was a cache hit.
+func (t *Table) Call(in []float64) ([]float64, energy.Cost, bool, error) {
+	key := t.key(in)
+	if data, ok := t.store.Get(key); ok {
+		out, err := decode(data)
+		if err != nil {
+			return nil, energy.Zero, false, err
+		}
+		if t.reg != nil {
+			t.reg.Counter("memo.hits").Inc()
+		}
+		return out, energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}, true, nil
+	}
+	out, computeCost, err := t.fn(in)
+	if err != nil {
+		return nil, energy.Zero, false, err
+	}
+	if err := t.store.Put(key, encode(out)); err != nil {
+		return nil, energy.Zero, false, err
+	}
+	if t.reg != nil {
+		t.reg.Counter("memo.misses").Inc()
+	}
+	cost := energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}.
+		Seq(computeCost, energy.Cost{LatencyPS: storeLatencyPS, EnergyPJ: storeEnergyPJ})
+	return out, cost, false, nil
+}
+
+// HitRate returns hits / (hits + misses) from the registry, or 0 without
+// one.
+func (t *Table) HitRate() float64 {
+	if t.reg == nil {
+		return 0
+	}
+	s := t.reg.Snapshot()
+	h, m := s.Counters["memo.hits"], s.Counters["memo.misses"]
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

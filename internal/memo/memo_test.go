@@ -1,0 +1,185 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/kvs"
+	"cimrev/internal/metrics"
+)
+
+// expensive is a test function with a visible call counter and a large
+// modeled cost.
+func expensive(calls *int) Func {
+	return func(in []float64) ([]float64, energy.Cost, error) {
+		*calls++
+		out := make([]float64, len(in))
+		for i, v := range in {
+			out[i] = v * v
+		}
+		return out, energy.Cost{LatencyPS: 1_000_000_000, EnergyPJ: 1e6}, nil
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	store := kvs.NewStore()
+	fn := expensive(new(int))
+	if _, err := NewTable("", fn, store, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTable("t", nil, store, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if _, err := NewTable("t", fn, nil, nil); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestCallMissThenHit(t *testing.T) {
+	store := kvs.NewStore()
+	reg := metrics.NewRegistry()
+	calls := 0
+	tbl, err := NewTable("sq", expensive(&calls), store, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{2, 3}
+
+	out, missCost, hit, err := tbl.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first call reported a hit")
+	}
+	if out[0] != 4 || out[1] != 9 {
+		t.Errorf("result = %v", out)
+	}
+	if calls != 1 {
+		t.Errorf("function called %d times", calls)
+	}
+
+	out, hitCost, hit, err := tbl.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second call missed")
+	}
+	if out[0] != 4 || out[1] != 9 {
+		t.Errorf("cached result = %v", out)
+	}
+	if calls != 1 {
+		t.Errorf("function recomputed (%d calls)", calls)
+	}
+	// The trade: a hit is orders of magnitude cheaper than the miss.
+	if hitCost.LatencyPS*100 > missCost.LatencyPS {
+		t.Errorf("hit %v not far below miss %v", hitCost, missCost)
+	}
+	if got := tbl.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", got)
+	}
+}
+
+func TestCallDistinctInputs(t *testing.T) {
+	store := kvs.NewStore()
+	calls := 0
+	tbl, err := NewTable("sq", expensive(&calls), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, _, err := tbl.Call([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 5 {
+		t.Errorf("distinct inputs computed %d times, want 5", calls)
+	}
+}
+
+func TestTablesNamespaced(t *testing.T) {
+	store := kvs.NewStore()
+	c1, c2 := 0, 0
+	t1, err := NewTable("a", expensive(&c1), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTable("b", expensive(&c2), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{7}
+	if _, _, _, err := t1.Call(in); err != nil {
+		t.Fatal(err)
+	}
+	_, _, hit, err := t2.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("table b hit on table a's entry")
+	}
+}
+
+func TestMemoSurvivesCheckpointRestore(t *testing.T) {
+	// The Section II.A point: persistence makes memoization durable. A
+	// "restart" (restore from checkpoint) keeps the warm cache.
+	store := kvs.NewStore()
+	calls := 0
+	tbl, err := NewTable("sq", expensive(&calls), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{5}
+	if _, _, _, err := tbl.Call(in); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Checkpoint()
+
+	// Crash: lose post-checkpoint state, then restore.
+	if err := store.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	_, _, hit, err := tbl.Call(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("memo table cold after restore")
+	}
+	if calls != 1 {
+		t.Errorf("recomputed after restore (%d calls)", calls)
+	}
+}
+
+func TestCallPropagatesErrors(t *testing.T) {
+	store := kvs.NewStore()
+	tbl, err := NewTable("f", func(in []float64) ([]float64, energy.Cost, error) {
+		return nil, energy.Zero, fmt.Errorf("boom")
+	}, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tbl.Call([]float64{1}); err == nil {
+		t.Error("function error swallowed")
+	}
+}
+
+func TestHitRateWithoutRegistry(t *testing.T) {
+	store := kvs.NewStore()
+	tbl, err := NewTable("f", expensive(new(int)), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.HitRate() != 0 {
+		t.Error("hit rate without registry should be 0")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := decode([]byte{1, 2, 3}); err == nil {
+		t.Error("corrupt value accepted")
+	}
+}

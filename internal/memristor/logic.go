@@ -1,0 +1,238 @@
+package memristor
+
+import (
+	"fmt"
+
+	"cimrev/internal/energy"
+)
+
+// Stateful logic after Borghetti et al. [20]: "'Memristive' switches enable
+// 'stateful' logic operations via material implication". A binary memristive
+// switch is closed (logic 1, low resistance) or open (logic 0). Two
+// operations are physically native:
+//
+//	FALSE q        — unconditionally open the switch (q ← 0)
+//	p IMP q        — material implication: q ← (¬p) ∨ q
+//
+// {IMP, FALSE} is functionally complete; LogicFabric builds NOT, NAND, AND,
+// OR, XOR, and ripple-carry addition from it, charging one pulse per
+// primitive so that higher-level gates carry honest costs.
+
+// Bit is a stateful binary memristive switch.
+type Bit struct {
+	closed bool
+	pulses int64
+}
+
+// Value reports the switch state as a bool.
+func (b *Bit) Value() bool { return b.closed }
+
+// Pulses returns how many switching pulses the bit has received (wear).
+func (b *Bit) Pulses() int64 { return b.pulses }
+
+// LogicFabric is a pool of stateful bits with a cost ledger. It represents
+// one row of a stateful-logic crossbar: all bits share driver circuitry, so
+// primitive operations are serialized.
+type LogicFabric struct {
+	bits   []Bit
+	ledger *energy.Ledger
+}
+
+// NewLogicFabric returns a fabric with n bits, all initialized open (0),
+// charging costs to ledger (which may be nil to disable accounting).
+func NewLogicFabric(n int, ledger *energy.Ledger) (*LogicFabric, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("memristor: fabric size must be positive, got %d", n)
+	}
+	return &LogicFabric{bits: make([]Bit, n), ledger: ledger}, nil
+}
+
+// Size returns the number of bits in the fabric.
+func (f *LogicFabric) Size() int { return len(f.bits) }
+
+func (f *LogicFabric) charge() {
+	if f.ledger != nil {
+		f.ledger.Charge("stateful-logic", LogicPulseCost)
+	}
+}
+
+func (f *LogicFabric) check(idx ...int) error {
+	for _, i := range idx {
+		if i < 0 || i >= len(f.bits) {
+			return fmt.Errorf("memristor: bit index %d outside [0,%d)", i, len(f.bits))
+		}
+	}
+	return nil
+}
+
+// Set forces bit i to v. Physically this is FALSE (and a SET pulse for 1);
+// either way one pulse.
+func (f *LogicFabric) Set(i int, v bool) error {
+	if err := f.check(i); err != nil {
+		return err
+	}
+	f.bits[i].closed = v
+	f.bits[i].pulses++
+	f.charge()
+	return nil
+}
+
+// Get reads bit i.
+func (f *LogicFabric) Get(i int) (bool, error) {
+	if err := f.check(i); err != nil {
+		return false, err
+	}
+	return f.bits[i].closed, nil
+}
+
+// False opens bit q (q ← 0): one of the two native primitives.
+func (f *LogicFabric) False(q int) error {
+	if err := f.check(q); err != nil {
+		return err
+	}
+	f.bits[q].closed = false
+	f.bits[q].pulses++
+	f.charge()
+	return nil
+}
+
+// Imp performs material implication q ← (¬p) ∨ q, the second native
+// primitive. p is unchanged.
+func (f *LogicFabric) Imp(p, q int) error {
+	if err := f.check(p, q); err != nil {
+		return err
+	}
+	f.bits[q].closed = !f.bits[p].closed || f.bits[q].closed
+	f.bits[q].pulses++
+	f.charge()
+	return nil
+}
+
+// Not computes out ← ¬p using {FALSE, IMP}: FALSE out; p IMP out.
+func (f *LogicFabric) Not(p, out int) error {
+	if err := f.False(out); err != nil {
+		return err
+	}
+	return f.Imp(p, out)
+}
+
+// Nand computes out ← ¬(p ∧ q) via the canonical three-pulse sequence:
+// FALSE out; p IMP out (out=¬p); q IMP out (out=¬q ∨ ¬p).
+func (f *LogicFabric) Nand(p, q, out int) error {
+	if err := f.False(out); err != nil {
+		return err
+	}
+	if err := f.Imp(p, out); err != nil {
+		return err
+	}
+	return f.Imp(q, out)
+}
+
+// And computes out ← p ∧ q using a scratch bit: NAND into scratch, then NOT.
+func (f *LogicFabric) And(p, q, scratch, out int) error {
+	if err := f.Nand(p, q, scratch); err != nil {
+		return err
+	}
+	return f.Not(scratch, out)
+}
+
+// Copy copies bit src into bit dst: physically a read followed by a single
+// conditional write pulse.
+func (f *LogicFabric) Copy(src, dst int) error {
+	if err := f.check(src, dst); err != nil {
+		return err
+	}
+	f.bits[dst].closed = f.bits[src].closed
+	f.bits[dst].pulses++
+	f.charge()
+	return nil
+}
+
+// Or computes out ← p ∨ q using the identity p ∨ q = (¬p) IMP q: scratch
+// holds ¬p, out holds a copy of q, then IMP(scratch, out) yields
+// ¬(¬p) ∨ q = p ∨ q.
+func (f *LogicFabric) Or(p, q, scratch, out int) error {
+	if err := f.Not(p, scratch); err != nil {
+		return err
+	}
+	if err := f.Copy(q, out); err != nil {
+		return err
+	}
+	return f.Imp(scratch, out)
+}
+
+// Xor computes out ← p ⊕ q from four NANDs:
+// xor = (p NAND (p NAND q)) NAND (q NAND (p NAND q)).
+// The final NAND lands in s1 (its operand cells must stay intact) and is
+// copied to out.
+func (f *LogicFabric) Xor(p, q, s1, s2, out int) error {
+	if err := f.Nand(p, q, s1); err != nil { // s1 = ¬(pq)
+		return err
+	}
+	if err := f.Nand(p, s1, s2); err != nil { // s2 = ¬(p·s1)
+		return err
+	}
+	if err := f.Nand(q, s1, out); err != nil { // out = ¬(q·s1)
+		return err
+	}
+	if err := f.Nand(s2, out, s1); err != nil { // s1 = s2 NAND out = p⊕q
+		return err
+	}
+	return f.Copy(s1, out)
+}
+
+// FullAdder computes sum and carry-out of bits a, b, cin using the scratch
+// bits s1..s4. It returns the values for convenience.
+func (f *LogicFabric) FullAdder(a, b, cin, s1, s2, s3, s4, sum, cout int) (bool, bool, error) {
+	// sum = a ⊕ b ⊕ cin
+	if err := f.Xor(a, b, s1, s2, s3); err != nil { // s3 = a⊕b
+		return false, false, err
+	}
+	if err := f.Xor(s3, cin, s1, s2, sum); err != nil {
+		return false, false, err
+	}
+	// cout = (a ∧ b) ∨ (cin ∧ (a ⊕ b))
+	if err := f.And(a, b, s1, s2); err != nil { // s2 = ab
+		return false, false, err
+	}
+	if err := f.And(cin, s3, s1, s4); err != nil { // s4 = cin·(a⊕b)
+		return false, false, err
+	}
+	if err := f.Or(s2, s4, s1, cout); err != nil {
+		return false, false, err
+	}
+	sv, _ := f.Get(sum)
+	cv, _ := f.Get(cout)
+	return sv, cv, nil
+}
+
+// AddWords ripple-carry adds two n-bit words (LSB first) held in fabric
+// positions a[i], b[i], writing the n-bit sum into out[i] and returning the
+// final carry. The fabric must have 9 scratch bits available at positions
+// scratchBase..scratchBase+8.
+func (f *LogicFabric) AddWords(a, b, out []int, scratchBase int) (bool, error) {
+	if len(a) != len(b) || len(a) != len(out) {
+		return false, fmt.Errorf("memristor: AddWords length mismatch a=%d b=%d out=%d", len(a), len(b), len(out))
+	}
+	s := scratchBase
+	if err := f.check(s, s+8); err != nil {
+		return false, err
+	}
+	cin := s + 8 // carry lives in a scratch bit
+	if err := f.Set(cin, false); err != nil {
+		return false, err
+	}
+	carry := false
+	for i := range a {
+		var err error
+		_, carry, err = f.FullAdder(a[i], b[i], cin, s, s+1, s+2, s+3, out[i], s+4)
+		if err != nil {
+			return false, err
+		}
+		// Move carry-out into cin for the next bit.
+		if err := f.Copy(s+4, cin); err != nil {
+			return false, err
+		}
+	}
+	return carry, nil
+}

@@ -1,0 +1,343 @@
+// Package metrics implements the load-information substrate from Section
+// IV.C of the paper: "Load information management is required before any
+// action is undertaken. It assumes measuring latencies and bandwidth of each
+// stream, as well as usage of individual and aggregate resources."
+//
+// It provides counters, gauges, log-bucketed histograms, and windowed rates,
+// collected in a Registry that resource managers snapshot to drive load
+// balancing, pinning, and closed-loop SLA control.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative; negative deltas are ignored so
+// the counter stays monotone.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram records observations into logarithmic buckets (powers of two)
+// and supports quantile estimation. Construct with NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []int64 // buckets[i] counts values in [2^(i-1), 2^i)
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram returns an empty histogram covering values up to 2^62.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]int64, 64), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one value. Non-positive values land in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketFor(v)]++
+}
+
+func bucketFor(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log2(v)) + 1
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1)
+// using bucket upper edges. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return math.Pow(2, float64(i)) // upper edge of bucket i
+		}
+	}
+	return h.max
+}
+
+// Rate tracks a quantity accumulated over simulated time, reporting units
+// per second of virtual time. It exists because the simulators have no wall
+// clock: callers explicitly advance time.
+type Rate struct {
+	mu       sync.Mutex
+	totalQty float64
+	totalPS  int64
+}
+
+// Record adds qty transferred over elapsedPS picoseconds of virtual time.
+func (r *Rate) Record(qty float64, elapsedPS int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.totalQty += qty
+	r.totalPS += elapsedPS
+}
+
+// PerSecond returns the average rate in units per virtual second.
+func (r *Rate) PerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.totalPS == 0 {
+		return 0
+	}
+	return r.totalQty / (float64(r.totalPS) * 1e-12)
+}
+
+// Registry is a named collection of metrics. All accessors create the metric
+// on first use. Registry is safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	rates      map[string]*Rate
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		rates:      make(map[string]*Rate),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Rate returns the named rate, creating it if needed.
+func (r *Registry) Rate(name string) *Rate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.rates[name]
+	if !ok {
+		rt = &Rate{}
+		r.rates[name] = rt
+	}
+	return rt
+}
+
+// Snapshot is a point-in-time copy of scalar metric values.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Means    map[string]float64 // histogram means
+	Rates    map[string]float64 // units per virtual second
+}
+
+// Snapshot copies all current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	rates := make(map[string]*Rate, len(r.rates))
+	for k, v := range r.rates {
+		rates[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]float64, len(gauges)),
+		Means:    make(map[string]float64, len(hists)),
+		Rates:    make(map[string]float64, len(rates)),
+	}
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Means[k] = v.Mean()
+	}
+	for k, v := range rates {
+		s.Rates[k] = v.PerSecond()
+	}
+	return s
+}
+
+// String renders the snapshot sorted by metric name for stable output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	writeSorted := func(prefix string, m map[string]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s = %g\n", prefix, k, m[k])
+		}
+	}
+	ckeys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for _, k := range ckeys {
+		fmt.Fprintf(&b, "counter %s = %d\n", k, s.Counters[k])
+	}
+	writeSorted("gauge", s.Gauges)
+	writeSorted("hist-mean", s.Means)
+	writeSorted("rate", s.Rates)
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-5)
+	if got := c.Value(); got != 10 {
+		t.Errorf("Value after negative Add = %d, want 10 (monotone)", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 10_000 {
+		t.Errorf("Value = %d, want 10000", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4.0 {
+		t.Errorf("Value = %g, want 4.0", got)
+	}
+	g.Add(-5)
+	if got := g.Value(); got != -1.0 {
+		t.Errorf("Value = %g, want -1.0", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 5000 {
+		t.Errorf("Value = %g, want 5000", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1, 2, 3, 4, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Mean(); got != 4 {
+		t.Errorf("Mean = %g, want 4", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Errorf("Max = %g, want 10", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	// The 0.5 quantile of 1..1000 is ~500; bucket upper edge gives ≤1024 and
+	// ≥256 (log2 buckets).
+	q := h.Quantile(0.5)
+	if q < 256 || q > 1024 {
+		t.Errorf("Quantile(0.5) = %g, want within [256,1024]", q)
+	}
+	// Out-of-range q is clamped rather than panicking.
+	if got := h.Quantile(-1); got < 1 {
+		t.Errorf("Quantile(-1) = %g, want >= 1", got)
+	}
+	if got := h.Quantile(2); got < q {
+		t.Errorf("Quantile(2) = %g, want >= median", got)
+	}
+}
+
+// Property: quantile is monotone non-decreasing in q and bounded by
+// [lowest bucket edge, max].
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram()
+		for _, r := range raw {
+			h.Observe(float64(r))
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 1}, {1.9, 1}, {2, 2}, {3.9, 2}, {4, 3}, {1e300, 63},
+	}
+	for _, tt := range tests {
+		if got := bucketFor(tt.v); got != tt.want {
+			t.Errorf("bucketFor(%g) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	// 1000 bytes over 1 microsecond = 1e9 bytes/s.
+	r.Record(1000, 1_000_000)
+	if got := r.PerSecond(); math.Abs(got-1e9) > 1 {
+		t.Errorf("PerSecond = %g, want 1e9", got)
+	}
+}
+
+func TestRateEmpty(t *testing.T) {
+	var r Rate
+	if got := r.PerSecond(); got != 0 {
+		t.Errorf("empty rate = %g, want 0", got)
+	}
+}
+
+func TestRegistryCreatesOnFirstUse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits")
+	c1.Inc()
+	c2 := r.Counter("hits")
+	if c1 != c2 {
+		t.Error("Counter must return the same instance for the same name")
+	}
+	if got := c2.Value(); got != 1 {
+		t.Errorf("Value = %d, want 1", got)
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge identity")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram identity")
+	}
+	if r.Rate("r") != r.Rate("r") {
+		t.Error("Rate identity")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkts").Add(7)
+	r.Gauge("load").Set(0.5)
+	r.Histogram("lat").Observe(10)
+	r.Histogram("lat").Observe(20)
+	r.Rate("bw").Record(100, 1_000_000_000_000) // 100 units over 1s
+
+	s := r.Snapshot()
+	if s.Counters["pkts"] != 7 {
+		t.Errorf("snapshot counter = %d, want 7", s.Counters["pkts"])
+	}
+	if s.Gauges["load"] != 0.5 {
+		t.Errorf("snapshot gauge = %g, want 0.5", s.Gauges["load"])
+	}
+	if s.Means["lat"] != 15 {
+		t.Errorf("snapshot hist mean = %g, want 15", s.Means["lat"])
+	}
+	if math.Abs(s.Rates["bw"]-100) > 1e-9 {
+		t.Errorf("snapshot rate = %g, want 100", s.Rates["bw"])
+	}
+}
+
+func TestSnapshotStringStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	s := r.Snapshot().String()
+	if !strings.Contains(s, "counter a = 1") || !strings.Contains(s, "counter b = 1") {
+		t.Errorf("snapshot string missing counters:\n%s", s)
+	}
+	if strings.Index(s, "counter a") > strings.Index(s, "counter b") {
+		t.Errorf("snapshot string not sorted:\n%s", s)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared").Inc()
+			r.Histogram("h").Observe(1)
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 32 {
+		t.Errorf("shared counter = %d, want 32", got)
+	}
+}
+
+// Property: counter value equals the sum of non-negative deltas regardless
+// of interleaving with ignored negatives.
+func TestCounterSumProperty(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var c Counter
+		var want int64
+		for _, d := range deltas {
+			c.Add(int64(d))
+			if d >= 0 {
+				want += int64(d)
+			}
+		}
+		return c.Value() == want
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(vals []reflect.Value, r *rand.Rand) {
+		n := r.Intn(50)
+		ds := make([]int16, n)
+		for i := range ds {
+			ds[i] = int16(r.Intn(2000) - 500)
+		}
+		vals[0] = reflect.ValueOf(ds)
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

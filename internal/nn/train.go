@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Training support. Section III.B notes that CIM's "inherent colocation of
+// memory and computation enables additional flexibility in how computation
+// is configured. This enables more opportunities for training" — the
+// deployment story is train (here, in software or on embedded control
+// cores), then program the result into crossbars. This file implements
+// SGD backpropagation for MLP-shaped networks (alternating Dense and
+// activation layers ending in softmax).
+
+// mlpShape validates that the network is trainable by this implementation
+// and returns its dense layers and hidden activations.
+func mlpShape(net *Network) ([]*Dense, []*ActivationLayer, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, nil, fmt.Errorf("nn: empty network")
+	}
+	if len(net.Layers)%2 != 0 {
+		return nil, nil, fmt.Errorf("nn: trainable MLP must alternate dense/activation")
+	}
+	var denses []*Dense
+	var acts []*ActivationLayer
+	for i := 0; i < len(net.Layers); i += 2 {
+		d, ok := net.Layers[i].(*Dense)
+		if !ok {
+			return nil, nil, fmt.Errorf("nn: layer %d is %s, want dense", i, net.Layers[i].Name())
+		}
+		a, ok := net.Layers[i+1].(*ActivationLayer)
+		if !ok {
+			return nil, nil, fmt.Errorf("nn: layer %d is %s, want activation", i+1, net.Layers[i+1].Name())
+		}
+		switch {
+		case i+2 == len(net.Layers) && a.Kind() != ActSoftmax:
+			return nil, nil, fmt.Errorf("nn: output activation must be softmax, got %s", a.Name())
+		case i+2 < len(net.Layers) && a.Kind() != ActReLU && a.Kind() != ActTanh && a.Kind() != ActSigmoid:
+			return nil, nil, fmt.Errorf("nn: hidden activation %s not supported", a.Name())
+		}
+		denses = append(denses, d)
+		acts = append(acts, a)
+	}
+	return denses, acts, nil
+}
+
+func actDerivative(kind Activation, preAct, postAct float64) float64 {
+	switch kind {
+	case ActReLU:
+		if preAct > 0 {
+			return 1
+		}
+		return 0
+	case ActSigmoid:
+		return postAct * (1 - postAct)
+	case ActTanh:
+		return 1 - postAct*postAct
+	default:
+		return 1
+	}
+}
+
+// TrainStep runs one SGD step on a single example with cross-entropy loss,
+// returning the loss before the update.
+func TrainStep(net *Network, input []float64, label int, lr float64) (float64, error) {
+	denses, acts, err := mlpShape(net)
+	if err != nil {
+		return 0, err
+	}
+	if len(input) != net.InSize() {
+		return 0, fmt.Errorf("nn: input length %d != %d", len(input), net.InSize())
+	}
+	if label < 0 || label >= net.OutSize() {
+		return 0, fmt.Errorf("nn: label %d outside [0,%d)", label, net.OutSize())
+	}
+	if lr <= 0 {
+		return 0, fmt.Errorf("nn: learning rate must be positive, got %g", lr)
+	}
+
+	// Forward, retaining pre- and post-activation values per stage.
+	L := len(denses)
+	ins := make([][]float64, L)  // input to dense l
+	pre := make([][]float64, L)  // dense output (pre-activation)
+	post := make([][]float64, L) // activation output
+	cur := input
+	for l := 0; l < L; l++ {
+		ins[l] = cur
+		z, err := denses[l].Forward(cur)
+		if err != nil {
+			return 0, err
+		}
+		pre[l] = z
+		a, err := acts[l].Forward(z)
+		if err != nil {
+			return 0, err
+		}
+		post[l] = a
+		cur = a
+	}
+
+	probs := post[L-1]
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+
+	// Backward: softmax + cross-entropy gives delta = p - onehot.
+	delta := append([]float64(nil), probs...)
+	delta[label] -= 1
+	for l := L - 1; l >= 0; l-- {
+		if l < L-1 {
+			for j := range delta {
+				delta[j] *= actDerivative(acts[l].Kind(), pre[l][j], post[l][j])
+			}
+		}
+		d := denses[l]
+		// Gradient w.r.t. the previous activation, before touching W.
+		var prevDelta []float64
+		if l > 0 {
+			prevDelta = make([]float64, d.in)
+			for i := 0; i < d.in; i++ {
+				var s float64
+				for o := 0; o < d.out; o++ {
+					s += d.W[o][i] * delta[o]
+				}
+				prevDelta[i] = s
+			}
+		}
+		// SGD update.
+		for o := 0; o < d.out; o++ {
+			g := delta[o]
+			row := d.W[o]
+			for i, x := range ins[l] {
+				row[i] -= lr * g * x
+			}
+			d.B[o] -= lr * g
+		}
+		delta = prevDelta
+	}
+	return loss, nil
+}
+
+// Train runs epochs of SGD over the dataset in a deterministic shuffled
+// order, returning the mean loss of the final epoch.
+func Train(net *Network, inputs [][]float64, labels []int, epochs int, lr float64, rng *rand.Rand) (float64, error) {
+	if len(inputs) == 0 || len(inputs) != len(labels) {
+		return 0, fmt.Errorf("nn: dataset size mismatch (%d inputs, %d labels)", len(inputs), len(labels))
+	}
+	if epochs <= 0 {
+		return 0, fmt.Errorf("nn: epochs must be positive, got %d", epochs)
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("nn: nil rng")
+	}
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	var meanLoss float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			loss, err := TrainStep(net, inputs[idx], labels[idx], lr)
+			if err != nil {
+				return 0, fmt.Errorf("nn: example %d: %w", idx, err)
+			}
+			sum += loss
+		}
+		meanLoss = sum / float64(len(order))
+	}
+	return meanLoss, nil
+}
+
+// Accuracy returns the fraction of examples the network classifies
+// correctly.
+func Accuracy(net *Network, inputs [][]float64, labels []int) (float64, error) {
+	if len(inputs) == 0 || len(inputs) != len(labels) {
+		return 0, fmt.Errorf("nn: dataset size mismatch")
+	}
+	correct := 0
+	for i, in := range inputs {
+		cls, err := net.Classify(in)
+		if err != nil {
+			return 0, err
+		}
+		if cls == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs)), nil
+}
+
+// MakeBlobs generates a synthetic classification dataset: `classes`
+// Gaussian blobs in `dim` dimensions with the given spread around
+// unit-sphere centers.
+func MakeBlobs(n, classes, dim int, spread float64, rng *rand.Rand) ([][]float64, []int, error) {
+	if n <= 0 || classes < 2 || dim <= 0 {
+		return nil, nil, fmt.Errorf("nn: invalid blob parameters (n=%d classes=%d dim=%d)", n, classes, dim)
+	}
+	if spread <= 0 {
+		return nil, nil, fmt.Errorf("nn: spread must be positive, got %g", spread)
+	}
+	if rng == nil {
+		return nil, nil, fmt.Errorf("nn: nil rng")
+	}
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		var norm float64
+		for d := range centers[c] {
+			centers[c][d] = rng.NormFloat64()
+			norm += centers[c][d] * centers[c][d]
+		}
+		norm = math.Sqrt(norm)
+		for d := range centers[c] {
+			centers[c][d] /= norm
+		}
+	}
+	inputs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		inputs[i] = make([]float64, dim)
+		for d := range inputs[i] {
+			inputs[i][d] = centers[c][d] + rng.NormFloat64()*spread
+		}
+	}
+	return inputs, labels, nil
+}

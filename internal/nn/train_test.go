@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMakeBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs, labels, err := MakeBlobs(100, 4, 8, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 100 || len(labels) != 100 {
+		t.Fatalf("sizes = %d, %d", len(inputs), len(labels))
+	}
+	counts := make([]int, 4)
+	for i, in := range inputs {
+		if len(in) != 8 {
+			t.Fatalf("input %d dim = %d", i, len(in))
+		}
+		if labels[i] < 0 || labels[i] >= 4 {
+			t.Fatalf("label %d = %d", i, labels[i])
+		}
+		counts[labels[i]]++
+	}
+	for c, n := range counts {
+		if n != 25 {
+			t.Errorf("class %d has %d examples, want 25", c, n)
+		}
+	}
+}
+
+func TestMakeBlobsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		n, classes, dim int
+		spread          float64
+		useRng          bool
+	}{
+		{0, 2, 4, 0.1, true},
+		{10, 1, 4, 0.1, true},
+		{10, 2, 0, 0.1, true},
+		{10, 2, 4, 0, true},
+		{10, 2, 4, 0.1, false},
+	}
+	for i, c := range cases {
+		r := rng
+		if !c.useRng {
+			r = nil
+		}
+		if _, _, err := MakeBlobs(c.n, c.classes, c.dim, c.spread, r); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewMLP("t", []int{4, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.5, -0.5, 0.25, 1}
+	first, err := TrainStep(net, in, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 30; i++ {
+		last, err = TrainStep(net, in, 1, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not fall: %g -> %g", first, last)
+	}
+}
+
+func TestTrainStepValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := NewMLP("t", []int{4, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 4)
+	if _, err := TrainStep(net, []float64{1}, 0, 0.1); err == nil {
+		t.Error("bad input length accepted")
+	}
+	if _, err := TrainStep(net, in, 5, 0.1); err == nil {
+		t.Error("bad label accepted")
+	}
+	if _, err := TrainStep(net, in, 0, 0); err == nil {
+		t.Error("zero lr accepted")
+	}
+
+	// Non-MLP shapes are rejected.
+	conv, err := NewLeNetStyle("cnn", 8, 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainStep(conv, make([]float64, 64), 0, 0.1); err == nil {
+		t.Error("CNN accepted by MLP trainer")
+	}
+}
+
+func TestTrainLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dim, classes = 8, 3
+	// One distribution, split into train and held-out halves (MakeBlobs
+	// draws fresh centers per call, so the split must share one call).
+	allIn, allLab, err := MakeBlobs(360, classes, dim, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, labels := allIn[:240], allLab[:240]
+	testIn, testLab := allIn[240:], allLab[240:]
+
+	net, err := NewMLP("blobs", []int{dim, 16, classes}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Accuracy(net, inputs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := Train(net, inputs, labels, 20, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Accuracy(net, inputs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < 0.95 {
+		t.Errorf("training accuracy = %.2f (was %.2f, loss %.3f), want >= 0.95", after, before, loss)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %.2f -> %.2f", before, after)
+	}
+
+	gen, err := Accuracy(net, testIn, testLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen < 0.9 {
+		t.Errorf("held-out accuracy = %.2f, want >= 0.9", gen)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewMLP("t", []int{2, 4, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := [][]float64{{1, 2}}
+	if _, err := Train(net, nil, nil, 1, 0.1, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Train(net, ins, []int{0, 1}, 1, 0.1, rng); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := Train(net, ins, []int{0}, 0, 0.1, rng); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, err := Train(net, ins, []int{0}, 1, 0.1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewMLP("t", []int{2, 4, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Accuracy(net, nil, nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Accuracy(net, [][]float64{{1}}, []int{0}); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestGradientNumerically(t *testing.T) {
+	// The analytic gradient of one weight must match a central finite
+	// difference of the loss.
+	rng := rand.New(rand.NewSource(9))
+	build := func() *Network {
+		net, err := NewMLP("g", []int{3, 5, 2}, rand.New(rand.NewSource(123)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	in := []float64{0.3, -0.7, 0.9}
+	const label = 1
+	const eps = 1e-5
+	_ = rng
+
+	loss := func(net *Network) float64 {
+		out, err := net.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log(math.Max(out[label], 1e-12))
+	}
+
+	// Numeric gradient for W[0][2][1] (second dense layer = Layers[2]).
+	netPlus := build()
+	d1 := netPlus.Layers[2].(*Dense)
+	d1.W[0][1] += eps
+	lPlus := loss(netPlus)
+
+	netMinus := build()
+	d2 := netMinus.Layers[2].(*Dense)
+	d2.W[0][1] -= eps
+	lMinus := loss(netMinus)
+	numGrad := (lPlus - lMinus) / (2 * eps)
+
+	// Analytic gradient: run one TrainStep with lr and read the delta.
+	netStep := build()
+	before := netStep.Layers[2].(*Dense).W[0][1]
+	const lr = 1e-3
+	if _, err := TrainStep(netStep, in, label, lr); err != nil {
+		t.Fatal(err)
+	}
+	after := netStep.Layers[2].(*Dense).W[0][1]
+	analyticGrad := (before - after) / lr
+
+	if math.Abs(numGrad-analyticGrad) > 1e-4*(1+math.Abs(numGrad)) {
+		t.Errorf("gradient mismatch: numeric %g vs analytic %g", numGrad, analyticGrad)
+	}
+}

@@ -1,0 +1,43 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the wire decoder: arbitrary bytes must never panic,
+// and anything that decodes must re-encode to the same bytes (canonical
+// form round trip).
+func FuzzUnmarshal(f *testing.F) {
+	seed := &Packet{
+		Src:     Address{Board: 1, Tile: 2, Unit: 3},
+		Dst:     Address{Tile: 5},
+		Stream:  9,
+		Seq:     77,
+		Type:    TypeData,
+		Payload: []float64{1.5, -2},
+		Code:    []byte{0xC1, 0xA0},
+		Route:   []Address{{Tile: 7}},
+	}
+	data, err := seed.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add(make([]byte, headerBytes))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}

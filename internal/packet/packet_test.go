@@ -1,0 +1,192 @@
+package packet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Src:     Address{Board: 1, Tile: 2, Unit: 3},
+		Dst:     Address{Board: 4, Tile: 5, Unit: 6},
+		Stream:  77,
+		Seq:     123456789,
+		Type:    TypeData,
+		Payload: []float64{1.5, -2.25, math.Pi},
+		Code:    []byte{0xDE, 0xAD},
+		Route:   []Address{{Board: 9, Tile: 8, Unit: 7}},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestMarshalRoundTripEmpty(t *testing.T) {
+	p := &Packet{Type: TypeControl}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != headerBytes {
+		t.Errorf("empty packet size = %d, want %d", len(data), headerBytes)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, p)
+	}
+}
+
+func TestSizeBytesMatchesMarshal(t *testing.T) {
+	p := samplePacket()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() != len(data) {
+		t.Errorf("SizeBytes = %d, Marshal produced %d", p.SizeBytes(), len(data))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Unmarshal(make([]byte, headerBytes-1)); err == nil {
+		t.Error("short input should fail")
+	}
+	p := samplePacket()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Error("truncated body should fail")
+	}
+	if _, err := Unmarshal(append(data, 0)); err == nil {
+		t.Error("trailing garbage should fail")
+	}
+}
+
+func TestMarshalSizeLimits(t *testing.T) {
+	p := &Packet{Code: make([]byte, math.MaxUint16+1)}
+	if _, err := p.Marshal(); err == nil {
+		t.Error("oversized code should fail")
+	}
+	p2 := &Packet{Payload: make([]float64, math.MaxUint16+1)}
+	if _, err := p2.Marshal(); err == nil {
+		t.Error("oversized payload should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket()
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Payload[0] = 99
+	c.Code[0] = 1
+	c.Route[0].Board = 0
+	if p.Payload[0] == 99 || p.Code[0] == 1 || p.Route[0].Board == 0 {
+		t.Error("clone shares backing arrays with original")
+	}
+}
+
+func TestCloneNilSlices(t *testing.T) {
+	p := &Packet{Type: TypeData}
+	c := p.Clone()
+	if c.Payload != nil || c.Code != nil || c.Route != nil {
+		t.Error("clone invented non-nil slices")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeData, "data"},
+		{TypeConfig, "config"},
+		{TypeProgram, "program"},
+		{TypeControl, "control"},
+		{Type(200), "type(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Board: 1, Tile: 2, Unit: 3}
+	if got := a.String(); !strings.Contains(got, "1/2/3") {
+		t.Errorf("Address.String() = %q", got)
+	}
+}
+
+// Property: Marshal/Unmarshal is lossless for arbitrary packets.
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			p := &Packet{
+				Src:    Address{Board: uint16(r.Uint32()), Tile: uint16(r.Uint32()), Unit: uint16(r.Uint32())},
+				Dst:    Address{Board: uint16(r.Uint32()), Tile: uint16(r.Uint32()), Unit: uint16(r.Uint32())},
+				Stream: StreamID(r.Uint32()),
+				Seq:    r.Uint64(),
+				Type:   Type(1 + r.Intn(4)),
+			}
+			if n := r.Intn(20); n > 0 {
+				p.Payload = make([]float64, n)
+				for i := range p.Payload {
+					p.Payload[i] = r.NormFloat64()
+				}
+			}
+			if n := r.Intn(20); n > 0 {
+				p.Code = make([]byte, n)
+				r.Read(p.Code)
+			}
+			if n := r.Intn(5); n > 0 {
+				p.Route = make([]Address, n)
+				for i := range p.Route {
+					p.Route[i] = Address{Board: uint16(r.Uint32()), Tile: uint16(r.Uint32()), Unit: uint16(r.Uint32())}
+				}
+			}
+			vals[0] = reflect.ValueOf(p)
+		},
+	}
+	f := func(p *Packet) bool {
+		data, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, got) && len(data) == p.SizeBytes()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

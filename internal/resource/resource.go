@@ -1,0 +1,330 @@
+// Package resource implements Section IV.C of the paper: "Traditional load
+// balancing techniques, such as distributing, pinning, and measuring loads
+// also apply to CIM."
+//
+//   - Load information management: per-unit utilization tracked from
+//     assigned stream rates ("measuring latencies and bandwidth of each
+//     stream, as well as usage of individual and aggregate resources").
+//   - Load balancing: streams assigned to, and rebalanced across,
+//     under-utilized units; pinning holds a stream on a specific unit.
+//   - Closed loops: an SLA controller that grows or shrinks the active
+//     unit pool to hold utilization inside a target band.
+package resource
+
+import (
+	"fmt"
+	"sort"
+
+	"cimrev/internal/metrics"
+	"cimrev/internal/packet"
+)
+
+// Stream is a unit of assignable load.
+type Stream struct {
+	// ID identifies the stream.
+	ID uint32
+	// Rate is the stream's demand in work units per second.
+	Rate float64
+	// Unit is the current assignment.
+	Unit packet.Address
+	// Pinned streams are never moved by Rebalance.
+	Pinned bool
+}
+
+// UnitLoad reports one unit's load state.
+type UnitLoad struct {
+	Addr packet.Address
+	// Capacity is the unit's work units per second.
+	Capacity float64
+	// Assigned is the sum of assigned stream rates.
+	Assigned float64
+}
+
+// Utilization returns Assigned/Capacity.
+func (u UnitLoad) Utilization() float64 {
+	if u.Capacity == 0 {
+		return 0
+	}
+	return u.Assigned / u.Capacity
+}
+
+// Balancer distributes streams over a pool of units.
+type Balancer struct {
+	units   map[packet.Address]*UnitLoad
+	streams map[uint32]*Stream
+	reg     *metrics.Registry
+}
+
+// NewBalancer creates a balancer over the given units, each with the given
+// capacity. reg may be nil.
+func NewBalancer(units []packet.Address, capacity float64, reg *metrics.Registry) (*Balancer, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("resource: need at least one unit")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("resource: capacity must be positive, got %g", capacity)
+	}
+	b := &Balancer{
+		units:   make(map[packet.Address]*UnitLoad, len(units)),
+		streams: make(map[uint32]*Stream),
+		reg:     reg,
+	}
+	for _, a := range units {
+		if _, dup := b.units[a]; dup {
+			return nil, fmt.Errorf("resource: duplicate unit %v", a)
+		}
+		b.units[a] = &UnitLoad{Addr: a, Capacity: capacity}
+	}
+	return b, nil
+}
+
+// AddUnit grows the pool (the closed-loop scale-out action).
+func (b *Balancer) AddUnit(addr packet.Address, capacity float64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("resource: capacity must be positive, got %g", capacity)
+	}
+	if _, dup := b.units[addr]; dup {
+		return fmt.Errorf("resource: unit %v already in pool", addr)
+	}
+	b.units[addr] = &UnitLoad{Addr: addr, Capacity: capacity}
+	return nil
+}
+
+// RemoveUnit drains and removes a unit, reassigning its unpinned streams.
+// It fails if any pinned stream lives there.
+func (b *Balancer) RemoveUnit(addr packet.Address) error {
+	u, ok := b.units[addr]
+	if !ok {
+		return fmt.Errorf("resource: no unit %v", addr)
+	}
+	var moving []*Stream
+	for _, s := range b.streams {
+		if s.Unit == addr {
+			if s.Pinned {
+				return fmt.Errorf("resource: unit %v hosts pinned stream %d", addr, s.ID)
+			}
+			moving = append(moving, s)
+		}
+	}
+	sort.Slice(moving, func(i, j int) bool { return moving[i].ID < moving[j].ID })
+	delete(b.units, addr)
+	_ = u
+	for _, s := range moving {
+		target, err := b.leastLoaded()
+		if err != nil {
+			return fmt.Errorf("resource: drain %v: %w", addr, err)
+		}
+		b.move(s, target)
+	}
+	return nil
+}
+
+// Assign places a new stream on the least-loaded unit.
+func (b *Balancer) Assign(id uint32, rate float64) (packet.Address, error) {
+	if rate <= 0 {
+		return packet.Address{}, fmt.Errorf("resource: rate must be positive, got %g", rate)
+	}
+	if _, dup := b.streams[id]; dup {
+		return packet.Address{}, fmt.Errorf("resource: stream %d already assigned", id)
+	}
+	target, err := b.leastLoaded()
+	if err != nil {
+		return packet.Address{}, err
+	}
+	s := &Stream{ID: id, Rate: rate, Unit: target.Addr}
+	b.streams[id] = s
+	target.Assigned += rate
+	if b.reg != nil {
+		b.reg.Counter("resource.assigned").Inc()
+	}
+	return target.Addr, nil
+}
+
+// Pin fixes a stream on a specific unit ("some of the streams may need to
+// be pinned to given CIM modules").
+func (b *Balancer) Pin(id uint32, addr packet.Address) error {
+	s, ok := b.streams[id]
+	if !ok {
+		return fmt.Errorf("resource: no stream %d", id)
+	}
+	target, ok := b.units[addr]
+	if !ok {
+		return fmt.Errorf("resource: no unit %v", addr)
+	}
+	if s.Unit != addr {
+		b.move(s, target)
+	}
+	s.Pinned = true
+	return nil
+}
+
+// Unpin releases a pinned stream for rebalancing.
+func (b *Balancer) Unpin(id uint32) error {
+	s, ok := b.streams[id]
+	if !ok {
+		return fmt.Errorf("resource: no stream %d", id)
+	}
+	s.Pinned = false
+	return nil
+}
+
+// Release removes a stream from the pool.
+func (b *Balancer) Release(id uint32) error {
+	s, ok := b.streams[id]
+	if !ok {
+		return fmt.Errorf("resource: no stream %d", id)
+	}
+	if u, ok := b.units[s.Unit]; ok {
+		u.Assigned -= s.Rate
+	}
+	delete(b.streams, id)
+	return nil
+}
+
+// Stream returns a copy of the stream's state.
+func (b *Balancer) Stream(id uint32) (Stream, error) {
+	s, ok := b.streams[id]
+	if !ok {
+		return Stream{}, fmt.Errorf("resource: no stream %d", id)
+	}
+	return *s, nil
+}
+
+// Loads returns per-unit load sorted by descending utilization.
+func (b *Balancer) Loads() []UnitLoad {
+	out := make([]UnitLoad, 0, len(b.units))
+	for _, u := range b.units {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization() != out[j].Utilization() {
+			return out[i].Utilization() > out[j].Utilization()
+		}
+		return less(out[i].Addr, out[j].Addr)
+	})
+	return out
+}
+
+// MeanUtilization returns aggregate assigned rate over aggregate capacity.
+func (b *Balancer) MeanUtilization() float64 {
+	var assigned, capacity float64
+	for _, u := range b.units {
+		assigned += u.Assigned
+		capacity += u.Capacity
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return assigned / capacity
+}
+
+// Imbalance returns max utilization over mean utilization (1.0 = perfectly
+// balanced); 0 when idle.
+func (b *Balancer) Imbalance() float64 {
+	mean := b.MeanUtilization()
+	if mean == 0 {
+		return 0
+	}
+	var maxU float64
+	for _, u := range b.units {
+		if ut := u.Utilization(); ut > maxU {
+			maxU = ut
+		}
+	}
+	return maxU / mean
+}
+
+// Rebalance greedily moves unpinned streams from the hottest unit to the
+// coolest until the imbalance stops improving. It returns the number of
+// moves ("redirecting streams to underutilized CIM components").
+func (b *Balancer) Rebalance() int {
+	moves := 0
+	for iter := 0; iter < 10*len(b.streams)+10; iter++ {
+		hot, cold := b.extremes()
+		if hot == nil || cold == nil || hot == cold {
+			return moves
+		}
+		gap := hot.Utilization() - cold.Utilization()
+		if gap <= 1e-9 {
+			return moves
+		}
+		// Best unpinned stream on hot whose move narrows the gap.
+		var best *Stream
+		for _, s := range b.streams {
+			if s.Unit != hot.Addr || s.Pinned {
+				continue
+			}
+			// Moving rate r changes the gap by 2r/capacity-ish; pick the
+			// largest stream that does not overshoot.
+			newHot := (hot.Assigned - s.Rate) / hot.Capacity
+			newCold := (cold.Assigned + s.Rate) / cold.Capacity
+			if newCold > newHot+gap {
+				continue // would overshoot into worse imbalance
+			}
+			if best == nil || s.Rate > best.Rate || (s.Rate == best.Rate && s.ID < best.ID) {
+				best = s
+			}
+		}
+		if best == nil {
+			return moves
+		}
+		before := b.Imbalance()
+		b.move(best, cold)
+		if b.Imbalance() >= before {
+			// Undo a non-improving move and stop.
+			b.move(best, hot)
+			return moves
+		}
+		moves++
+		if b.reg != nil {
+			b.reg.Counter("resource.moves").Inc()
+		}
+	}
+	return moves
+}
+
+func (b *Balancer) move(s *Stream, to *UnitLoad) {
+	if from, ok := b.units[s.Unit]; ok {
+		from.Assigned -= s.Rate
+	}
+	to.Assigned += s.Rate
+	s.Unit = to.Addr
+}
+
+func (b *Balancer) leastLoaded() (*UnitLoad, error) {
+	var best *UnitLoad
+	for _, u := range b.units {
+		if best == nil || u.Utilization() < best.Utilization() ||
+			(u.Utilization() == best.Utilization() && less(u.Addr, best.Addr)) {
+			best = u
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("resource: pool is empty")
+	}
+	return best, nil
+}
+
+func (b *Balancer) extremes() (hot, cold *UnitLoad) {
+	for _, u := range b.units {
+		if hot == nil || u.Utilization() > hot.Utilization() ||
+			(u.Utilization() == hot.Utilization() && less(u.Addr, hot.Addr)) {
+			hot = u
+		}
+		if cold == nil || u.Utilization() < cold.Utilization() ||
+			(u.Utilization() == cold.Utilization() && less(u.Addr, cold.Addr)) {
+			cold = u
+		}
+	}
+	return hot, cold
+}
+
+func less(a, b packet.Address) bool {
+	if a.Board != b.Board {
+		return a.Board < b.Board
+	}
+	if a.Tile != b.Tile {
+		return a.Tile < b.Tile
+	}
+	return a.Unit < b.Unit
+}

@@ -1,0 +1,306 @@
+package resource
+
+import (
+	"math"
+	"testing"
+
+	"cimrev/internal/metrics"
+	"cimrev/internal/packet"
+)
+
+func addr(tile uint16) packet.Address { return packet.Address{Tile: tile} }
+
+func pool(t *testing.T, n int, capacity float64) *Balancer {
+	t.Helper()
+	units := make([]packet.Address, n)
+	for i := range units {
+		units[i] = addr(uint16(i))
+	}
+	b, err := NewBalancer(units, capacity, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBalancerValidation(t *testing.T) {
+	if _, err := NewBalancer(nil, 1, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewBalancer([]packet.Address{addr(0)}, 0, nil); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewBalancer([]packet.Address{addr(0), addr(0)}, 1, nil); err == nil {
+		t.Error("duplicate unit accepted")
+	}
+}
+
+func TestAssignLeastLoaded(t *testing.T) {
+	b := pool(t, 2, 100)
+	u1, err := b.Assign(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := b.Assign(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 == u2 {
+		t.Error("second stream not spread to the idle unit")
+	}
+	// Third goes to the cooler unit (the one holding 10).
+	u3, err := b.Assign(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u3 != u2 {
+		t.Errorf("third stream on %v, want %v", u3, u2)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	b := pool(t, 1, 100)
+	if _, err := b.Assign(1, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := b.Assign(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(1, 10); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+}
+
+func TestPinAndRebalance(t *testing.T) {
+	b := pool(t, 2, 100)
+	if _, err := b.Assign(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(2, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Pin both to unit 0 to create imbalance.
+	if err := b.Pin(1, addr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Pin(2, addr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Imbalance() < 1.9 {
+		t.Fatalf("expected heavy imbalance, got %g", b.Imbalance())
+	}
+	// Pinned streams never move.
+	if moves := b.Rebalance(); moves != 0 {
+		t.Errorf("rebalance moved %d pinned streams", moves)
+	}
+	// Unpin one: rebalance fixes it.
+	if err := b.Unpin(2); err != nil {
+		t.Fatal(err)
+	}
+	if moves := b.Rebalance(); moves != 1 {
+		t.Errorf("rebalance moves = %d, want 1", moves)
+	}
+	if got := b.Imbalance(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("imbalance after rebalance = %g, want 1.0", got)
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	b := pool(t, 2, 100)
+	if err := b.Pin(9, addr(0)); err == nil {
+		t.Error("pin of missing stream accepted")
+	}
+	if _, err := b.Assign(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Pin(1, addr(9)); err == nil {
+		t.Error("pin to missing unit accepted")
+	}
+	if err := b.Unpin(9); err == nil {
+		t.Error("unpin of missing stream accepted")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	b := pool(t, 1, 100)
+	if _, err := b.Assign(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(1); err == nil {
+		t.Error("double release accepted")
+	}
+	if u := b.MeanUtilization(); u != 0 {
+		t.Errorf("utilization after release = %g, want 0", u)
+	}
+}
+
+func TestLoadsSorted(t *testing.T) {
+	b := pool(t, 3, 100)
+	if _, err := b.Assign(1, 90); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(2, 30); err != nil {
+		t.Fatal(err)
+	}
+	loads := b.Loads()
+	if len(loads) != 3 {
+		t.Fatalf("Loads = %d entries", len(loads))
+	}
+	if loads[0].Assigned != 90 || loads[1].Assigned != 30 || loads[2].Assigned != 0 {
+		t.Errorf("loads not sorted by utilization: %+v", loads)
+	}
+	if loads[0].Utilization() != 0.9 {
+		t.Errorf("utilization = %g, want 0.9", loads[0].Utilization())
+	}
+}
+
+func TestStreamLookup(t *testing.T) {
+	b := pool(t, 1, 100)
+	if _, err := b.Assign(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Stream(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rate != 10 || s.Pinned {
+		t.Errorf("stream = %+v", s)
+	}
+	if _, err := b.Stream(6); err == nil {
+		t.Error("missing stream lookup succeeded")
+	}
+}
+
+func TestRemoveUnitDrains(t *testing.T) {
+	b := pool(t, 2, 100)
+	u, err := b.Assign(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveUnit(u); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Stream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Unit == u {
+		t.Error("stream still on removed unit")
+	}
+	if err := b.RemoveUnit(addr(9)); err == nil {
+		t.Error("remove of missing unit accepted")
+	}
+}
+
+func TestRemoveUnitBlockedByPin(t *testing.T) {
+	b := pool(t, 2, 100)
+	u, err := b.Assign(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Pin(1, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveUnit(u); err == nil {
+		t.Error("removed unit hosting pinned stream")
+	}
+}
+
+func TestManyStreamsBalanceEvenly(t *testing.T) {
+	b := pool(t, 4, 1000)
+	for i := uint32(0); i < 100; i++ {
+		if _, err := b.Assign(i, float64(1+i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Rebalance()
+	if imb := b.Imbalance(); imb > 1.2 {
+		t.Errorf("imbalance after rebalance = %g, want <= 1.2", imb)
+	}
+}
+
+func TestSLAControllerScaleOutAndIn(t *testing.T) {
+	b := pool(t, 2, 100)
+	spares := []packet.Address{addr(10), addr(11)}
+	ctrl, err := NewSLAController(b, spares, 100, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load both units past the band.
+	if _, err := b.Assign(1, 90); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(2, 90); err != nil {
+		t.Fatal(err)
+	}
+	net, err := ctrl.Settle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net < 1 {
+		t.Errorf("controller did not scale out (net %d)", net)
+	}
+	if b.MeanUtilization() > 0.8 {
+		t.Errorf("utilization still above band: %g", b.MeanUtilization())
+	}
+	before := ctrl.ActiveSpares()
+	if before == 0 {
+		t.Fatal("no spares deployed")
+	}
+	// Drop the load: the controller returns spares.
+	if err := b.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Settle(10); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.ActiveSpares() >= before {
+		t.Errorf("controller did not scale in (%d spares still active)", ctrl.ActiveSpares())
+	}
+}
+
+func TestSLAControllerValidation(t *testing.T) {
+	b := pool(t, 1, 100)
+	if _, err := NewSLAController(nil, nil, 100, 0.2, 0.8); err == nil {
+		t.Error("nil balancer accepted")
+	}
+	if _, err := NewSLAController(b, nil, 0, 0.2, 0.8); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewSLAController(b, nil, 100, 0.8, 0.2); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := NewSLAController(b, nil, 100, -0.1, 0.8); err == nil {
+		t.Error("negative low accepted")
+	}
+	if _, err := NewSLAController(b, nil, 100, 0.2, 1.5); err == nil {
+		t.Error("high > 1 accepted")
+	}
+}
+
+func TestSLAControllerNoSpares(t *testing.T) {
+	b := pool(t, 1, 100)
+	ctrl, err := NewSLAController(b, nil, 100, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Assign(1, 95); err != nil {
+		t.Fatal(err)
+	}
+	act, err := ctrl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != 0 {
+		t.Errorf("scaled out with no spares: %d", act)
+	}
+	if ctrl.SparesLeft() != 0 {
+		t.Errorf("SparesLeft = %d", ctrl.SparesLeft())
+	}
+}

@@ -1,0 +1,95 @@
+package resource
+
+import (
+	"fmt"
+
+	"cimrev/internal/packet"
+)
+
+// SLAController is the closed loop of Section IV.C ("performance of certain
+// parts of the CIM modules may influence others, which can be used to
+// manage performance according to given SLA agreements"): it watches the
+// balancer's mean utilization and grows or shrinks the active pool from a
+// reserve of spare units to hold utilization inside [Low, High].
+type SLAController struct {
+	balancer *Balancer
+	spares   []packet.Address
+	inUse    []packet.Address
+	capacity float64
+
+	// Low and High bound the target utilization band.
+	Low, High float64
+}
+
+// NewSLAController wraps a balancer with a reserve of spare units.
+func NewSLAController(b *Balancer, spares []packet.Address, capacity, low, high float64) (*SLAController, error) {
+	if b == nil {
+		return nil, fmt.Errorf("resource: nil balancer")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("resource: capacity must be positive, got %g", capacity)
+	}
+	if low < 0 || high <= low || high > 1 {
+		return nil, fmt.Errorf("resource: band [%g,%g] invalid", low, high)
+	}
+	return &SLAController{
+		balancer: b,
+		spares:   append([]packet.Address(nil), spares...),
+		capacity: capacity,
+		Low:      low,
+		High:     high,
+	}, nil
+}
+
+// SparesLeft returns how many spare units remain in reserve.
+func (c *SLAController) SparesLeft() int { return len(c.spares) }
+
+// ActiveSpares returns how many reserve units are currently deployed.
+func (c *SLAController) ActiveSpares() int { return len(c.inUse) }
+
+// Step runs one control iteration: scale out if utilization exceeds High,
+// scale in (returning a spare to reserve) if below Low with spares
+// deployed. It returns +1, -1, or 0 for the action taken.
+func (c *SLAController) Step() (int, error) {
+	u := c.balancer.MeanUtilization()
+	switch {
+	case u > c.High && len(c.spares) > 0:
+		spare := c.spares[len(c.spares)-1]
+		if err := c.balancer.AddUnit(spare, c.capacity); err != nil {
+			return 0, fmt.Errorf("resource: scale out: %w", err)
+		}
+		c.spares = c.spares[:len(c.spares)-1]
+		c.inUse = append(c.inUse, spare)
+		c.balancer.Rebalance()
+		return 1, nil
+	case u < c.Low && len(c.inUse) > 0:
+		spare := c.inUse[len(c.inUse)-1]
+		if err := c.balancer.RemoveUnit(spare); err != nil {
+			// A pinned stream blocks the drain; hold steady.
+			return 0, nil
+		}
+		c.inUse = c.inUse[:len(c.inUse)-1]
+		c.spares = append(c.spares, spare)
+		c.balancer.Rebalance()
+		return -1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Settle runs Step until it holds steady or maxIters passes, returning the
+// net scaling actions.
+func (c *SLAController) Settle(maxIters int) (int, error) {
+	net := 0
+	for i := 0; i < maxIters; i++ {
+		act, err := c.Step()
+		if err != nil {
+			return net, err
+		}
+		if act == 0 {
+			return net, nil
+		}
+		net += act
+	}
+	return net, nil
+}

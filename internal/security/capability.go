@@ -1,0 +1,123 @@
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"cimrev/internal/packet"
+)
+
+// Right is a bitmask of capability permissions, after the CHERI model the
+// paper names as "the ideal complement" to CIM's packet security.
+type Right uint8
+
+const (
+	// RightRead permits reading unit state.
+	RightRead Right = 1 << iota
+	// RightWrite permits streaming data into units.
+	RightWrite
+	// RightExecute permits triggering computation.
+	RightExecute
+	// RightConfigure permits reprogramming units (the most privileged).
+	RightConfigure
+)
+
+// Capability grants Rights over a contiguous tile range on one board. It is
+// sealed by an Authority's HMAC, making it unforgeable and checkable at any
+// component boundary without consulting the authority.
+type Capability struct {
+	Board          uint16
+	TileLo, TileHi uint16
+	Rights         Right
+	MAC            []byte
+}
+
+// Covers reports whether the capability's range includes addr.
+func (c Capability) Covers(addr packet.Address) bool {
+	return addr.Board == c.Board && addr.Tile >= c.TileLo && addr.Tile <= c.TileHi
+}
+
+// Has reports whether the capability includes all the given rights.
+func (c Capability) Has(r Right) bool { return c.Rights&r == r }
+
+func (c Capability) signedBytes() []byte {
+	buf := make([]byte, 7)
+	binary.BigEndian.PutUint16(buf[0:], c.Board)
+	binary.BigEndian.PutUint16(buf[2:], c.TileLo)
+	binary.BigEndian.PutUint16(buf[4:], c.TileHi)
+	buf[6] = byte(c.Rights)
+	return buf
+}
+
+// Authority mints and verifies capabilities with a secret HMAC key.
+type Authority struct {
+	key []byte
+}
+
+// NewAuthority creates an authority with a fresh random key.
+func NewAuthority() (*Authority, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("security: authority key: %w", err)
+	}
+	return &Authority{key: key}, nil
+}
+
+// Mint issues a sealed capability.
+func (a *Authority) Mint(board, tileLo, tileHi uint16, rights Right) (Capability, error) {
+	if tileHi < tileLo {
+		return Capability{}, fmt.Errorf("security: tile range [%d,%d] inverted", tileLo, tileHi)
+	}
+	if rights == 0 {
+		return Capability{}, fmt.Errorf("security: capability with no rights")
+	}
+	c := Capability{Board: board, TileLo: tileLo, TileHi: tileHi, Rights: rights}
+	mac := hmac.New(sha256.New, a.key)
+	mac.Write(c.signedBytes())
+	c.MAC = mac.Sum(nil)
+	return c, nil
+}
+
+// Derive returns a new capability with a subset of the parent's rights
+// and/or a narrower range — monotonic attenuation, never amplification.
+func (a *Authority) Derive(parent Capability, tileLo, tileHi uint16, rights Right) (Capability, error) {
+	if err := a.Verify(parent); err != nil {
+		return Capability{}, fmt.Errorf("security: derive from invalid parent: %w", err)
+	}
+	if tileLo < parent.TileLo || tileHi > parent.TileHi {
+		return Capability{}, fmt.Errorf("security: derived range [%d,%d] exceeds parent [%d,%d]",
+			tileLo, tileHi, parent.TileLo, parent.TileHi)
+	}
+	if rights&^parent.Rights != 0 {
+		return Capability{}, fmt.Errorf("security: derived rights %#x exceed parent %#x", rights, parent.Rights)
+	}
+	return a.Mint(parent.Board, tileLo, tileHi, rights)
+}
+
+// Verify checks the capability's seal.
+func (a *Authority) Verify(c Capability) error {
+	mac := hmac.New(sha256.New, a.key)
+	mac.Write(c.signedBytes())
+	if !hmac.Equal(mac.Sum(nil), c.MAC) {
+		return fmt.Errorf("security: capability seal invalid")
+	}
+	return nil
+}
+
+// Authorize checks that the sealed capability covers addr with the given
+// rights — the boundary check components run before acting on a packet.
+func (a *Authority) Authorize(c Capability, addr packet.Address, rights Right) error {
+	if err := a.Verify(c); err != nil {
+		return err
+	}
+	if !c.Covers(addr) {
+		return fmt.Errorf("security: capability does not cover %v", addr)
+	}
+	if !c.Has(rights) {
+		return fmt.Errorf("security: capability lacks rights %#x", rights)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package suitability turns the paper's qualitative Table 2 into measured
+// quantities: it runs each application-class kernel through a Von Neumann
+// cost model and a CIM cost model, computes latency and energy ratios, and
+// thresholds them back into the paper's low/medium/high CIM-benefit scale.
+package suitability
+
+import (
+	"fmt"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/workloads"
+)
+
+// Model constants for the CIM side, sized to a board of ~1000 ISAAC-scale
+// crossbars plus embedded digital micro-units. (The Von Neumann side uses
+// the shared constants in internal/energy.)
+const (
+	// CIMPeakOps is the aggregate in-array op rate: ~1200 crossbars x
+	// 16384 MACs / 100 ns.
+	CIMPeakOps = 2e14
+	// CIMControlFlops is the aggregate digital micro-unit rate for work
+	// that does not map in-array.
+	CIMControlFlops = 1e11
+	// CIMMeshBandwidth is the aggregate fabric streaming bandwidth.
+	CIMMeshBandwidth = 1e11
+	// CIMRoundLatencyS is one cross-unit dataflow synchronization.
+	CIMRoundLatencyS = 50e-9
+	// CIMMVMOpEnergyPJ is in-array energy per MAC (crossbar + converters).
+	CIMMVMOpEnergyPJ = 0.1
+	// CIMControlOpEnergyPJ is digital micro-unit energy per op.
+	CIMControlOpEnergyPJ = 5.0
+	// CIMStreamEnergyPJPerByte is fabric streaming energy.
+	CIMStreamEnergyPJPerByte = 2.0
+	// CIMStaticPowerW is board static power.
+	CIMStaticPowerW = 5.0
+)
+
+// Rating is the CIM-benefit verdict.
+type Rating int
+
+const (
+	// RatingLow means CIM offers under 1.5x.
+	RatingLow Rating = iota + 1
+	// RatingMedium means 1.5-5x.
+	RatingMedium
+	// RatingHigh means 5x or better.
+	RatingHigh
+)
+
+// String names the rating as Table 2 prints it.
+func (r Rating) String() string {
+	switch r {
+	case RatingLow:
+		return "low"
+	case RatingMedium:
+		return "medium"
+	case RatingHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("rating(%d)", int(r))
+	}
+}
+
+// Thresholds for mapping the speedup to a rating.
+const (
+	mediumThreshold = 1.5
+	highThreshold   = 5.0
+)
+
+// Result is one scored class.
+type Result struct {
+	Class    workloads.Class
+	VN       energy.Cost
+	CIM      energy.Cost
+	Speedup  float64 // VN latency / CIM latency
+	EnergyX  float64 // VN energy / CIM energy
+	Measured Rating
+	Paper    workloads.Level
+}
+
+// Agrees reports whether the measured rating matches the paper's cell.
+func (r Result) Agrees() bool {
+	return int(r.Measured) == int(r.Paper)
+}
+
+// VNCost prices the kernel on the Von Neumann baseline (roofline CPU).
+func VNCost(k workloads.Kernel) (energy.Cost, error) {
+	if err := k.Validate(); err != nil {
+		return energy.Zero, err
+	}
+	computeS := k.Flops / energy.CPUPeakFlops
+	memoryS := k.DataBytes / energy.CPUMemBandwidth
+	runS := computeS
+	if memoryS > runS {
+		runS = memoryS
+	}
+	latency := energy.PicosecondsFromSeconds(runS)
+	dynamic := k.Flops*energy.CPUFlopEnergyPJ + k.DataBytes*energy.DRAMAccessEnergyPJPerByte
+	static := energy.CPUStaticPowerW * runS * 1e12
+	return energy.Cost{LatencyPS: latency, EnergyPJ: dynamic + static}, nil
+}
+
+// CIMCost prices the kernel on the CIM fabric model: the mappable fraction
+// runs in-array at massive parallel rate, the remainder on digital
+// micro-units, streaming covers only non-stationary data, and each
+// dataflow round serializes on the mesh.
+func CIMCost(k workloads.Kernel) (energy.Cost, error) {
+	if err := k.Validate(); err != nil {
+		return energy.Zero, err
+	}
+	mvmOps := k.Flops * k.MVMFrac
+	ctrlOps := k.Flops - mvmOps
+	streamBytes := k.DataBytes * (1 - k.StationaryFrac)
+
+	mvmS := mvmOps / (CIMPeakOps * k.Parallelism)
+	ctrlS := ctrlOps / CIMControlFlops
+	streamS := streamBytes / CIMMeshBandwidth
+	roundS := k.Rounds * CIMRoundLatencyS
+	runS := mvmS + ctrlS + streamS + roundS
+
+	latency := energy.PicosecondsFromSeconds(runS)
+	dynamic := mvmOps*CIMMVMOpEnergyPJ + ctrlOps*CIMControlOpEnergyPJ +
+		streamBytes*CIMStreamEnergyPJPerByte
+	static := CIMStaticPowerW * runS * 1e12
+	return energy.Cost{LatencyPS: latency, EnergyPJ: dynamic + static}, nil
+}
+
+// Score runs both models on one class at the given scale.
+func Score(c workloads.Class, scale float64) (Result, error) {
+	k, err := c.Kernel(scale)
+	if err != nil {
+		return Result{}, err
+	}
+	vn, err := VNCost(k)
+	if err != nil {
+		return Result{}, err
+	}
+	cim, err := CIMCost(k)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Class: c,
+		VN:    vn,
+		CIM:   cim,
+		Paper: c.Traits().PaperCIM,
+	}
+	if cim.LatencyPS > 0 {
+		res.Speedup = float64(vn.LatencyPS) / float64(cim.LatencyPS)
+	}
+	if cim.EnergyPJ > 0 {
+		res.EnergyX = vn.EnergyPJ / cim.EnergyPJ
+	}
+	switch {
+	case res.Speedup >= highThreshold:
+		res.Measured = RatingHigh
+	case res.Speedup >= mediumThreshold:
+		res.Measured = RatingMedium
+	default:
+		res.Measured = RatingLow
+	}
+	return res, nil
+}
+
+// Table2 scores every class at the reference scale, in table order.
+func Table2() ([]Result, error) {
+	classes := workloads.Classes()
+	out := make([]Result, 0, len(classes))
+	for _, c := range classes {
+		r, err := Score(c, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("suitability: %v: %w", c, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

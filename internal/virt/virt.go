@@ -1,0 +1,228 @@
+// Package virt implements Section IV.B of the paper, which maps Network
+// Function Virtualization ideas onto CIM: "Dynamic hardware isolation"
+// (partitions of units completely isolated from each other), "Quality of
+// service" (provisioned interconnect so streams cannot interfere), and
+// "Failover" (redirecting streams to other components with minimal
+// impact).
+package virt
+
+import (
+	"fmt"
+	"sort"
+
+	"cimrev/internal/cim"
+	"cimrev/internal/interconnect"
+	"cimrev/internal/packet"
+	"cimrev/internal/security"
+)
+
+// Partition is a named, isolated group of fabric units.
+type Partition struct {
+	// Name identifies the partition.
+	Name string
+	// ID is the isolation domain handed to the Isolator.
+	ID int
+	// Units are the member addresses.
+	Units []packet.Address
+	// Stream is the QoS stream identity used for lane reservations.
+	Stream uint32
+	// Reserved is the reserved link fraction (0 = best effort).
+	Reserved float64
+}
+
+// Manager carves a fabric into partitions.
+type Manager struct {
+	fabric     *cim.Fabric
+	iso        *security.Isolator
+	partitions map[string]*Partition
+	nextID     int
+	nextStream uint32
+}
+
+// NewManager wraps a fabric.
+func NewManager(fabric *cim.Fabric) (*Manager, error) {
+	if fabric == nil {
+		return nil, fmt.Errorf("virt: nil fabric")
+	}
+	return &Manager{
+		fabric:     fabric,
+		iso:        security.NewIsolator(),
+		partitions: make(map[string]*Partition),
+		nextID:     1,
+		nextStream: 1,
+	}, nil
+}
+
+// Isolator exposes the manager's isolation domain checker.
+func (m *Manager) Isolator() *security.Isolator { return m.iso }
+
+// CreatePartition groups units into a new isolation domain. Every unit
+// must exist and not belong to another partition.
+func (m *Manager) CreatePartition(name string, units []packet.Address) (*Partition, error) {
+	if name == "" {
+		return nil, fmt.Errorf("virt: partition needs a name")
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("virt: partition %q needs at least one unit", name)
+	}
+	if _, dup := m.partitions[name]; dup {
+		return nil, fmt.Errorf("virt: partition %q already exists", name)
+	}
+	for _, a := range units {
+		if _, err := m.fabric.Unit(a); err != nil {
+			return nil, fmt.Errorf("virt: partition %q: %w", name, err)
+		}
+		if m.iso.PartitionOf(a) != 0 {
+			return nil, fmt.Errorf("virt: unit %v already belongs to a partition", a)
+		}
+	}
+	p := &Partition{
+		Name:   name,
+		ID:     m.nextID,
+		Units:  append([]packet.Address(nil), units...),
+		Stream: m.nextStream,
+	}
+	m.nextID++
+	m.nextStream++
+	for _, a := range units {
+		m.iso.Assign(a, p.ID)
+	}
+	m.partitions[name] = p
+	return p, nil
+}
+
+// Partition returns the named partition.
+func (m *Manager) Partition(name string) (*Partition, error) {
+	p, ok := m.partitions[name]
+	if !ok {
+		return nil, fmt.Errorf("virt: no partition %q", name)
+	}
+	return p, nil
+}
+
+// Partitions lists partitions sorted by name.
+func (m *Manager) Partitions() []*Partition {
+	out := make([]*Partition, 0, len(m.partitions))
+	for _, p := range m.partitions {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeletePartition dissolves a partition, returning its units to domain 0
+// and releasing its lane reservations.
+func (m *Manager) DeletePartition(name string) error {
+	p, ok := m.partitions[name]
+	if !ok {
+		return fmt.Errorf("virt: no partition %q", name)
+	}
+	for _, a := range p.Units {
+		m.iso.Assign(a, 0)
+	}
+	m.fabric.Mesh().ReleaseLane(p.Stream)
+	delete(m.partitions, name)
+	return nil
+}
+
+// AllowFlow permits directed traffic from partition a to partition b.
+func (m *Manager) AllowFlow(a, b string) error {
+	pa, err := m.Partition(a)
+	if err != nil {
+		return err
+	}
+	pb, err := m.Partition(b)
+	if err != nil {
+		return err
+	}
+	m.iso.Allow(pa.ID, pb.ID)
+	return nil
+}
+
+// CheckTraffic returns nil if src may send to dst under current isolation.
+func (m *Manager) CheckTraffic(src, dst packet.Address) error {
+	return m.iso.Check(src, dst)
+}
+
+// ReserveBandwidth provisions fraction of the mesh links between every
+// connected pair of the partition's units — the QoS guarantee. Fails (and
+// rolls back) if any link lacks headroom.
+func (m *Manager) ReserveBandwidth(name string, fraction float64) error {
+	p, err := m.Partition(name)
+	if err != nil {
+		return err
+	}
+	mesh := m.fabric.Mesh()
+	member := make(map[packet.Address]bool, len(p.Units))
+	for _, a := range p.Units {
+		member[a] = true
+	}
+	reservedAny := false
+	for _, e := range m.fabric.Edges() {
+		if !member[e.From] || !member[e.To] {
+			continue
+		}
+		src := coordOf(m.fabric, e.From)
+		dst := coordOf(m.fabric, e.To)
+		if src == dst {
+			continue
+		}
+		if err := mesh.ReserveLane(p.Stream, src, dst, fraction); err != nil {
+			mesh.ReleaseLane(p.Stream)
+			return fmt.Errorf("virt: reserve for %q: %w", name, err)
+		}
+		reservedAny = true
+	}
+	if !reservedAny {
+		return fmt.Errorf("virt: partition %q has no cross-tile edges to reserve", name)
+	}
+	p.Reserved = fraction
+	return nil
+}
+
+func coordOf(f *cim.Fabric, a packet.Address) interconnect.Coord {
+	w := f.Config().MeshW
+	t := int(a.Tile)
+	return interconnect.Coord{X: t % w, Y: t / w}
+}
+
+// Failover redirects every edge through `from` onto `to` — the Section
+// IV.B failover primitive ("switching to other components would have
+// minimal impact"). Both units must be in the same partition.
+func (m *Manager) Failover(name string, from, to packet.Address) error {
+	p, err := m.Partition(name)
+	if err != nil {
+		return err
+	}
+	if m.iso.PartitionOf(from) != p.ID || m.iso.PartitionOf(to) != p.ID {
+		return fmt.Errorf("virt: failover units must belong to partition %q", name)
+	}
+	preds, err := m.fabric.Predecessors(from)
+	if err != nil {
+		return err
+	}
+	succs, err := m.fabric.Successors(from)
+	if err != nil {
+		return err
+	}
+	for _, pr := range preds {
+		if err := m.fabric.Disconnect(pr, from); err != nil {
+			return err
+		}
+		if err := m.fabric.Connect(pr, to); err != nil {
+			return err
+		}
+	}
+	for _, s := range succs {
+		if err := m.fabric.Disconnect(from, s); err != nil {
+			return err
+		}
+		if s == to {
+			continue
+		}
+		if err := m.fabric.Connect(to, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

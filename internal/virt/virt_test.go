@@ -1,0 +1,254 @@
+package virt
+
+import (
+	"testing"
+
+	"cimrev/internal/cim"
+	"cimrev/internal/isa"
+	"cimrev/internal/packet"
+)
+
+func addr(tile, unit uint16) packet.Address { return packet.Address{Tile: tile, Unit: unit} }
+
+// testFabric builds a fabric with units on tiles 0..3.
+func testFabric(t *testing.T) *cim.Fabric {
+	t.Helper()
+	f, err := cim.NewFabric(cim.DefaultConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := uint16(0); tile < 4; tile++ {
+		for unit := uint16(0); unit < 2; unit++ {
+			if _, err := f.AddUnit(addr(tile, unit), cim.KindCompute, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+func TestCreatePartition(t *testing.T) {
+	m, err := NewManager(testFabric(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.CreatePartition("edge", []packet.Address{addr(0, 0), addr(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID == 0 {
+		t.Error("partition got the default domain 0")
+	}
+	got, err := m.Partition("edge")
+	if err != nil || got != p {
+		t.Errorf("Partition lookup = %v, %v", got, err)
+	}
+	if len(m.Partitions()) != 1 {
+		t.Errorf("Partitions = %d, want 1", len(m.Partitions()))
+	}
+}
+
+func TestCreatePartitionErrors(t *testing.T) {
+	m, err := NewManager(testFabric(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(nil); err == nil {
+		t.Error("nil fabric accepted")
+	}
+	if _, err := m.CreatePartition("", []packet.Address{addr(0, 0)}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := m.CreatePartition("x", nil); err == nil {
+		t.Error("empty unit list accepted")
+	}
+	if _, err := m.CreatePartition("x", []packet.Address{addr(9, 9)}); err == nil {
+		t.Error("missing unit accepted")
+	}
+	if _, err := m.CreatePartition("a", []packet.Address{addr(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("a", []packet.Address{addr(1, 0)}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := m.CreatePartition("b", []packet.Address{addr(0, 0)}); err == nil {
+		t.Error("unit reuse across partitions accepted")
+	}
+	if _, err := m.Partition("missing"); err == nil {
+		t.Error("missing partition lookup succeeded")
+	}
+}
+
+func TestIsolationBetweenPartitions(t *testing.T) {
+	m, err := NewManager(testFabric(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("a", []packet.Address{addr(0, 0), addr(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("b", []packet.Address{addr(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTraffic(addr(0, 0), addr(0, 1)); err != nil {
+		t.Errorf("intra-partition traffic rejected: %v", err)
+	}
+	if err := m.CheckTraffic(addr(0, 0), addr(1, 0)); err == nil {
+		t.Error("cross-partition traffic accepted")
+	}
+	if err := m.AllowFlow("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTraffic(addr(0, 0), addr(1, 0)); err != nil {
+		t.Errorf("allowed flow rejected: %v", err)
+	}
+	if err := m.CheckTraffic(addr(1, 0), addr(0, 0)); err == nil {
+		t.Error("reverse flow accepted")
+	}
+	if err := m.AllowFlow("a", "missing"); err == nil {
+		t.Error("flow to missing partition accepted")
+	}
+}
+
+func TestDeletePartition(t *testing.T) {
+	m, err := NewManager(testFabric(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("a", []packet.Address{addr(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeletePartition("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeletePartition("a"); err == nil {
+		t.Error("double delete accepted")
+	}
+	// Units are reusable after deletion.
+	if _, err := m.CreatePartition("b", []packet.Address{addr(0, 0)}); err != nil {
+		t.Errorf("unit reuse after delete failed: %v", err)
+	}
+}
+
+func TestReserveBandwidth(t *testing.T) {
+	f := testFabric(t)
+	// Cross-tile pipeline inside the partition.
+	if err := f.Connect(addr(0, 0), addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("p", []packet.Address{addr(0, 0), addr(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveBandwidth("p", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Partition("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reserved != 0.5 {
+		t.Errorf("Reserved = %g, want 0.5", p.Reserved)
+	}
+	// A partition with no cross-tile edges cannot reserve.
+	if _, err := m.CreatePartition("q", []packet.Address{addr(2, 0), addr(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveBandwidth("q", 0.5); err == nil {
+		t.Error("reservation without cross-tile edges accepted")
+	}
+	if err := m.ReserveBandwidth("missing", 0.5); err == nil {
+		t.Error("reservation for missing partition accepted")
+	}
+}
+
+func TestReserveBandwidthRollsBackOnFailure(t *testing.T) {
+	f := testFabric(t)
+	if err := f.Connect(addr(0, 0), addr(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("p", []packet.Address{addr(0, 0), addr(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReserveBandwidth("p", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	// Second reservation exceeds the 90% cap and must fail cleanly.
+	if err := m.ReserveBandwidth("p", 0.5); err == nil {
+		t.Error("over-subscription accepted")
+	}
+}
+
+func TestFailover(t *testing.T) {
+	f := testFabric(t)
+	// src -> worker -> sink, with standby in the same partition.
+	src, worker, standby, sink := addr(0, 0), addr(1, 0), addr(1, 1), addr(2, 0)
+	if err := f.Configure(worker, isa.FuncReLU, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Configure(standby, isa.FuncReLU, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]packet.Address{{src, worker}, {worker, sink}} {
+		if err := f.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("p", []packet.Address{src, worker, standby, sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Failover("p", worker, standby); err != nil {
+		t.Fatal(err)
+	}
+	// Stream flows src -> standby -> sink now.
+	if err := f.Stream(src, []float64{-2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out[sink]
+	if len(res) != 1 {
+		t.Fatalf("sink results = %d, want 1", len(res))
+	}
+	if res[0][0] != 0 || res[0][1] != 3 {
+		t.Errorf("failover output = %v, want [0 3]", res[0])
+	}
+	// Old worker is fully detached.
+	succs, err := f.Successors(worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succs) != 0 {
+		t.Errorf("failed worker still has successors: %v", succs)
+	}
+}
+
+func TestFailoverValidation(t *testing.T) {
+	f := testFabric(t)
+	m, err := NewManager(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreatePartition("p", []packet.Address{addr(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Failover("missing", addr(0, 0), addr(1, 0)); err == nil {
+		t.Error("failover in missing partition accepted")
+	}
+	if err := m.Failover("p", addr(0, 0), addr(1, 0)); err == nil {
+		t.Error("failover to unit outside partition accepted")
+	}
+}
