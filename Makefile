@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test bench cover fuzz experiments examples clean
+.PHONY: all build vet test race verify bench bench-smoke cover fuzz experiments examples clean
 
 all: build vet test
+
+# Tier-1 verify path: build + vet + tests, then the same tests again under
+# the race detector (the parallel simulation engine must stay race-clean).
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,8 +17,18 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the whole tree; parallelism is on by default
+# (pool width = GOMAXPROCS), so this exercises the concurrent hot paths.
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick benchmark smoke: one iteration of the Section VI latency sweep,
+# enough to catch a broken hot path without a full benchmark run.
+bench-smoke:
+	$(GO) test -bench=SecVILatency -benchtime=1x .
 
 cover:
 	$(GO) test -cover ./...

@@ -33,6 +33,7 @@ import (
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/packet"
+	"cimrev/internal/parallel"
 	"cimrev/internal/service"
 	"cimrev/internal/suitability"
 	"cimrev/internal/vonneumann"
@@ -49,6 +50,16 @@ type (
 
 // NewLedger returns an empty cost ledger.
 func NewLedger() *Ledger { return energy.NewLedger() }
+
+// SetSimWorkers sets the simulator's worker-pool width: how many
+// goroutines chew through independent crossbar tiles, batch items, boards,
+// and sweep points. 1 selects sequential mode; n <= 0 resets to the
+// GOMAXPROCS default. Simulated results are bit-identical at any width —
+// only wall-clock time changes (see docs/PARALLELISM.md).
+func SetSimWorkers(n int) { parallel.SetWidth(n) }
+
+// SimWorkers returns the current simulation worker-pool width.
+func SimWorkers() int { return parallel.Width() }
 
 // Crossbar layer.
 type (

@@ -6,8 +6,16 @@
 //
 //	cimbench                  # run everything
 //	cimbench -exp fig2        # one experiment: fig2, table1, table2,
-//	                          # secvi, scale
+//	                          # secvi, scale, adc, noise, parallelism
 //	cimbench -sizes 512,4096  # layer sizes for the Section VI sweep
+//	cimbench -parallel 8      # simulation worker-pool width (wall-clock
+//	                          # only; 1 = serial, 0 = GOMAXPROCS default)
+//
+// Simulated results are bit-identical at every -parallel width: the flag
+// only controls how many OS threads chew through the independent tiles,
+// batch items, and sweep points (see docs/PARALLELISM.md). Selected
+// experiments also run concurrently with each other, with output printed
+// in the canonical order.
 package main
 
 import (
@@ -18,19 +26,25 @@ import (
 	"strings"
 
 	"cimrev/internal/experiments"
+	"cimrev/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
+	workers := flag.Int("parallel", 0, "simulation worker-pool width: N goroutines, 1 = serial, 0 = GOMAXPROCS (results are identical at any width)")
 	flag.Parse()
 
+	parallel.SetWidth(*workers)
 	if err := run(*exp, *sizes, *boards); err != nil {
 		fmt.Fprintln(os.Stderr, "cimbench:", err)
 		os.Exit(1)
 	}
 }
+
+// formatter is the common shape of every experiment result.
+type formatter interface{ Format() string }
 
 func run(exp, sizeList, boardList string) error {
 	sizes, err := parseInts(sizeList)
@@ -42,75 +56,45 @@ func run(exp, sizeList, boardList string) error {
 		return fmt.Errorf("parse -boards: %w", err)
 	}
 
-	want := func(name string) bool { return exp == "all" || exp == name }
-	ran := false
+	// The canonical experiment order. Each job is independent, so selected
+	// jobs fan out across the worker pool; outputs are collected by index
+	// and printed in this order regardless of completion order.
+	jobs := []struct {
+		name string
+		fn   func() (formatter, error)
+	}{
+		{"fig2", func() (formatter, error) { return experiments.Fig2() }},
+		{"table1", func() (formatter, error) { return experiments.Table1() }},
+		{"table2", func() (formatter, error) { return experiments.Table2() }},
+		{"secvi", func() (formatter, error) { return experiments.SecVI(sizes) }},
+		{"scale", func() (formatter, error) { return experiments.Scale(boards, 512, 64) }},
+		{"adc", func() (formatter, error) { return experiments.ADCAblation([]int{2, 4, 6, 8, 10}) }},
+		{"noise", func() (formatter, error) { return experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3}) }},
+		{"parallelism", func() (formatter, error) { return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99}) }},
+	}
 
-	if want("fig2") {
-		res, err := experiments.Fig2()
-		if err != nil {
-			return err
+	selected := jobs[:0:0]
+	for _, j := range jobs {
+		if exp == "all" || exp == j.name {
+			selected = append(selected, j)
 		}
-		fmt.Println(res.Format())
-		ran = true
 	}
-	if want("table1") {
-		res, err := experiments.Table1()
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("table2") {
-		res, err := experiments.Table2()
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("secvi") {
-		res, err := experiments.SecVI(sizes)
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("scale") {
-		res, err := experiments.Scale(boards, 512, 64)
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("adc") {
-		res, err := experiments.ADCAblation([]int{2, 4, 6, 8, 10})
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("noise") {
-		res, err := experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3})
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if want("parallelism") {
-		res, err := experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Format())
-		ran = true
-	}
-	if !ran {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism)", exp)
+	}
+
+	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {
+		res, err := selected[i].fn()
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, out := range outputs {
+		fmt.Println(out)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/parallel"
 )
 
 // Tile aggregates a grid of crossbars to hold matrices larger than one
@@ -13,6 +14,16 @@ import (
 // ceil(N/Cols) blocks; block results merge with digital adds. All blocks
 // compute in parallel (each owns its arrays and converters), so MVM latency
 // is one block MVM plus the merge, while energy sums across blocks.
+//
+// The simulator mirrors the hardware's spatial parallelism: independent
+// blocks of Program and MVM fan out across the internal/parallel worker
+// pool, with per-block results merged in fixed (row, column) order so cost
+// totals and outputs are bit-identical to serial execution at any pool
+// width. When analog read noise is enabled the blocks consume a shared
+// *rand.Rand, so MVM forces itself sequential to preserve the historical
+// noise draw order; like Crossbar, a Tile's mutating methods are not safe
+// for concurrent use from multiple goroutines, while noise-free MVM on a
+// programmed tile is read-only and may be called concurrently.
 type Tile struct {
 	cfg        Config
 	blocks     [][]*Crossbar // blocks[br][bc]
@@ -100,32 +111,43 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 		}
 	}
 
-	cost := energy.Zero
-	for br := 0; br < brows; br++ {
+	// Blocks are independent (each owns its arrays), so programming fans
+	// out across the worker pool; per-block costs are folded afterwards in
+	// fixed (br, bc) order so the accumulated energy is bit-identical to a
+	// serial run at any pool width.
+	blockCosts := make([]energy.Cost, brows*bcols)
+	err := parallel.ForErr(brows*bcols, func(b int) error {
+		br, bc := b/bcols, b%bcols
 		r0 := br * t.cfg.Rows
 		r1 := min(r0+t.cfg.Rows, m)
-		for bc := 0; bc < bcols; bc++ {
-			c0 := bc * t.cfg.Cols
-			c1 := min(c0+t.cfg.Cols, n)
-			sub := make([][]float64, r1-r0)
-			for r := r0; r < r1; r++ {
-				sub[r-r0] = w[r][c0:c1]
-			}
-			xb := t.blocks[br][bc]
-			if xb == nil {
-				var err error
-				xb, err = New(t.cfg)
-				if err != nil {
-					return energy.Zero, err
-				}
-				t.blocks[br][bc] = xb
-			}
-			c, err := xb.Program(sub)
-			if err != nil {
-				return energy.Zero, fmt.Errorf("crossbar: program block (%d,%d): %w", br, bc, err)
-			}
-			cost = cost.Par(c)
+		c0 := bc * t.cfg.Cols
+		c1 := min(c0+t.cfg.Cols, n)
+		sub := make([][]float64, r1-r0)
+		for r := r0; r < r1; r++ {
+			sub[r-r0] = w[r][c0:c1]
 		}
+		xb := t.blocks[br][bc]
+		if xb == nil {
+			var err error
+			xb, err = New(t.cfg)
+			if err != nil {
+				return err
+			}
+			t.blocks[br][bc] = xb
+		}
+		c, err := xb.Program(sub)
+		if err != nil {
+			return fmt.Errorf("crossbar: program block (%d,%d): %w", br, bc, err)
+		}
+		blockCosts[b] = c
+		return nil
+	})
+	if err != nil {
+		return energy.Zero, err
+	}
+	cost := energy.Zero
+	for _, c := range blockCosts {
+		cost = cost.Par(c)
 	}
 	t.rows, t.cols = m, n
 	t.programmed = true
@@ -142,22 +164,44 @@ func (t *Tile) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, err
 		return nil, energy.Zero, fmt.Errorf("crossbar: input length %d != rows %d", len(input), t.rows)
 	}
 
-	out := make([]float64, t.cols)
-	cost := energy.Zero
-	for br, blockRow := range t.blocks {
+	// Evaluate the independent blocks, fanning out across the worker pool
+	// when the computation is noise-free. With analog read noise the blocks
+	// share one *rand.Rand, so evaluation stays sequential (in (br, bc)
+	// order) to preserve the historical draw sequence. Partial results are
+	// stored per block and merged below in fixed order, so outputs and cost
+	// totals are bit-identical to serial execution at any pool width.
+	brows, bcols := t.BlockGrid()
+	ys := make([][]float64, brows*bcols)
+	costs := make([]energy.Cost, brows*bcols)
+	evalBlock := func(b int) error {
+		br, bc := b/bcols, b%bcols
 		r0 := br * t.cfg.Rows
 		r1 := min(r0+t.cfg.Rows, t.rows)
-		sub := input[r0:r1]
-		for bc, block := range blockRow {
-			y, c, err := block.MVM(sub, rng)
-			if err != nil {
-				return nil, energy.Zero, fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
+		y, c, err := t.blocks[br][bc].MVM(input[r0:r1], rng)
+		if err != nil {
+			return fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
+		}
+		ys[b], costs[b] = y, c
+		return nil
+	}
+	if t.cfg.ReadNoise > 0 {
+		for b := 0; b < brows*bcols; b++ {
+			if err := evalBlock(b); err != nil {
+				return nil, energy.Zero, err
 			}
-			cost = cost.Par(c)
-			c0 := bc * t.cfg.Cols
-			for i, v := range y {
-				out[c0+i] += v
-			}
+		}
+	} else if err := parallel.ForErr(brows*bcols, evalBlock); err != nil {
+		return nil, energy.Zero, err
+	}
+
+	// Deterministic reduction: digital adds in (br, bc) order.
+	out := make([]float64, t.cols)
+	cost := energy.Zero
+	for b, y := range ys {
+		cost = cost.Par(costs[b])
+		c0 := (b % bcols) * t.cfg.Cols
+		for i, v := range y {
+			out[c0+i] += v
 		}
 	}
 	// Digital merge: one add per partial element beyond the first block row.

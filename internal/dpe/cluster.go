@@ -6,6 +6,7 @@ import (
 	"cimrev/internal/energy"
 	"cimrev/internal/interconnect"
 	"cimrev/internal/nn"
+	"cimrev/internal/parallel"
 )
 
 // Cluster is a multi-board DPE deployment: "we consider acceptable scaling
@@ -57,45 +58,66 @@ func (c *Cluster) Engine(i int) (*Engine, error) {
 }
 
 // Load programs every board with a replica of the network. Boards program
-// in parallel: latency is the slowest board, energy sums.
+// in parallel: latency is the slowest board, energy sums. Each board owns
+// its arrays, so the simulator fans boards across the worker pool and
+// folds per-board costs in board order.
 func (c *Cluster) Load(net *nn.Network) (energy.Cost, error) {
-	total := energy.Zero
-	for i, eng := range c.engines {
-		cost, err := eng.Load(net)
+	costs := make([]energy.Cost, len(c.engines))
+	err := parallel.ForErr(len(c.engines), func(i int) error {
+		cost, err := c.engines[i].Load(net)
 		if err != nil {
-			return energy.Zero, fmt.Errorf("dpe: load board %d: %w", i, err)
+			return fmt.Errorf("dpe: load board %d: %w", i, err)
 		}
+		costs[i] = cost
+		return nil
+	})
+	if err != nil {
+		return energy.Zero, err
+	}
+	total := energy.Zero
+	for _, cost := range costs {
 		total = total.Par(cost)
 	}
 	return total, nil
 }
 
 // InferBatch distributes inputs round-robin across boards and runs each
-// board's share serially; boards run in parallel. Inputs and outputs for
-// boards other than 0 cross the photonic link.
+// board's share serially; boards run in parallel — both in simulated time
+// and in wall-clock time: each board is handled by one worker goroutine
+// from the shared pool, which walks that board's share in index order
+// (preserving each engine's RNG draw sequence) and accumulates its serial
+// cost. Inputs and outputs for boards other than 0 cross the photonic
+// link. Per-board costs fold in board order, so the total is bit-identical
+// to serial execution at any pool width.
 func (c *Cluster) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
 	if len(inputs) == 0 {
 		return nil, energy.Zero, fmt.Errorf("dpe: empty batch")
 	}
 	outs := make([][]float64, len(inputs))
 	boardCost := make([]energy.Cost, len(c.engines))
-	for i, in := range inputs {
-		b := i % len(c.engines)
+	err := parallel.ForErr(len(c.engines), func(b int) error {
 		eng := c.engines[b]
-		out, cost, err := eng.Infer(in)
-		if err != nil {
-			return nil, energy.Zero, fmt.Errorf("dpe: board %d input %d: %w", b, i, err)
-		}
-		if b != 0 {
-			bytes := 8 * (len(in) + len(out))
-			xfer, err := c.link.Transfer(bytes)
+		for i := b; i < len(inputs); i += len(c.engines) {
+			in := inputs[i]
+			out, cost, err := eng.Infer(in)
 			if err != nil {
-				return nil, energy.Zero, err
+				return fmt.Errorf("dpe: board %d input %d: %w", b, i, err)
 			}
-			cost = cost.Seq(xfer)
+			if b != 0 {
+				bytes := 8 * (len(in) + len(out))
+				xfer, err := c.link.Transfer(bytes)
+				if err != nil {
+					return err
+				}
+				cost = cost.Seq(xfer)
+			}
+			boardCost[b] = boardCost[b].Seq(cost)
+			outs[i] = out
 		}
-		boardCost[b] = boardCost[b].Seq(cost)
-		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, energy.Zero, err
 	}
 	total := energy.Zero
 	for _, bc := range boardCost {
@@ -105,14 +127,23 @@ func (c *Cluster) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, erro
 }
 
 // ReprogramAll loads a new same-topology network on every board, with or
-// without write-asymmetry hiding. Boards reprogram in parallel.
+// without write-asymmetry hiding. Boards reprogram in parallel, fanned
+// across the worker pool with a board-ordered cost fold.
 func (c *Cluster) ReprogramAll(net *nn.Network, hide bool) (energy.Cost, error) {
-	total := energy.Zero
-	for i, eng := range c.engines {
-		cost, err := eng.Reprogram(net, hide)
+	costs := make([]energy.Cost, len(c.engines))
+	err := parallel.ForErr(len(c.engines), func(i int) error {
+		cost, err := c.engines[i].Reprogram(net, hide)
 		if err != nil {
-			return energy.Zero, fmt.Errorf("dpe: reprogram board %d: %w", i, err)
+			return fmt.Errorf("dpe: reprogram board %d: %w", i, err)
 		}
+		costs[i] = cost
+		return nil
+	})
+	if err != nil {
+		return energy.Zero, err
+	}
+	total := energy.Zero
+	for _, cost := range costs {
 		total = total.Par(cost)
 	}
 	return total, nil

@@ -10,15 +10,27 @@
 // move, each inference costs only input/output streaming plus in-place
 // analog reads — the root of the latency, bandwidth, and power advantages
 // Section VI reports and this package's experiments reproduce.
+//
+// The simulator exploits the same spatial parallelism the hardware does:
+// Load and Reprogram fan independent layers across the internal/parallel
+// worker pool, InferBatch fans independent batch items, and Cluster fans
+// independent boards — all with deterministic index-ordered reductions, so
+// outputs and energy/latency totals are bit-identical to serial execution
+// at any pool width (see docs/PARALLELISM.md). Batch items share the
+// engine's noise RNG, so InferBatch forces itself sequential whenever
+// analog read noise is enabled; per-engine counters use atomics and are
+// safe to read concurrently.
 package dpe
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"cimrev/internal/crossbar"
 	"cimrev/internal/energy"
 	"cimrev/internal/nn"
+	"cimrev/internal/parallel"
 )
 
 // Config configures an Engine.
@@ -67,7 +79,10 @@ type Engine struct {
 	stages []stage
 
 	programCost energy.Cost
-	inferences  int64
+	// inferences counts completed inferences. It is atomic because
+	// InferBatch retires batch items from multiple pool workers, and
+	// Inferences() may be read while a batch is in flight.
+	inferences atomic.Int64
 }
 
 // New returns an empty engine.
@@ -85,8 +100,9 @@ func (e *Engine) Network() *nn.Network { return e.net }
 // slow memristor writes (Section VI's asymmetry).
 func (e *Engine) ProgramCost() energy.Cost { return e.programCost }
 
-// Inferences returns how many inferences have run since Load.
-func (e *Engine) Inferences() int64 { return e.inferences }
+// Inferences returns how many inferences have run since Load. It is safe
+// to call concurrently with InferBatch.
+func (e *Engine) Inferences() int64 { return e.inferences.Load() }
 
 // CrossbarCount returns the number of physical crossbar arrays in use.
 func (e *Engine) CrossbarCount() int {
@@ -113,51 +129,62 @@ func (e *Engine) WeightBytes() float64 {
 
 // Load programs the network into crossbar hardware, returning the
 // programming cost. Layers program in parallel across their own arrays
-// (latency is the max stage cost; energy sums).
+// (latency is the max stage cost; energy sums), and the simulator fans
+// the independent layers across the worker pool; per-layer costs fold in
+// layer order so the total is identical at any pool width.
 func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 	if net == nil || len(net.Layers) == 0 {
 		return energy.Zero, fmt.Errorf("dpe: empty network")
 	}
-	stages := make([]stage, 0, len(net.Layers))
-	total := energy.Zero
-	for i, layer := range net.Layers {
+	stages := make([]stage, len(net.Layers))
+	costs := make([]energy.Cost, len(net.Layers))
+	err := parallel.ForErr(len(net.Layers), func(i int) error {
+		layer := net.Layers[i]
 		s := stage{layer: layer}
 		switch l := layer.(type) {
 		case *nn.Dense:
 			tile, err := crossbar.NewTile(e.cfg.Crossbar)
 			if err != nil {
-				return energy.Zero, err
+				return err
 			}
 			cost, err := tile.Program(l.WeightMatrix())
 			if err != nil {
-				return energy.Zero, fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
+				return fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
 			}
-			total = total.Par(cost)
+			costs[i] = cost
 			s.tile, s.dense = tile, l
 		case *nn.Conv2D:
 			tile, err := crossbar.NewTile(e.cfg.Crossbar)
 			if err != nil {
-				return energy.Zero, err
+				return err
 			}
 			cost, err := tile.Program(l.Im2ColMatrix())
 			if err != nil {
-				return energy.Zero, fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
+				return fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
 			}
 			// Replicas program in parallel but all cells cost energy.
 			cost.EnergyPJ *= float64(e.cfg.ConvReplicas)
-			total = total.Par(cost)
+			costs[i] = cost
 			s.tile, s.conv = tile, l
 		case *nn.ActivationLayer, *nn.MaxPool2D:
 			// Digital stages need no programming.
 		default:
-			return energy.Zero, fmt.Errorf("dpe: unsupported layer %d (%s)", i, layer.Name())
+			return fmt.Errorf("dpe: unsupported layer %d (%s)", i, layer.Name())
 		}
-		stages = append(stages, s)
+		stages[i] = s
+		return nil
+	})
+	if err != nil {
+		return energy.Zero, err
+	}
+	total := energy.Zero
+	for _, c := range costs {
+		total = total.Par(c)
 	}
 	e.net = net
 	e.stages = stages
 	e.programCost = total
-	e.inferences = 0
+	e.inferences.Store(0)
 	return total, nil
 }
 
@@ -174,37 +201,47 @@ func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
 	if net == nil || len(net.Layers) != len(e.stages) {
 		return energy.Zero, fmt.Errorf("dpe: Reprogram requires identical topology")
 	}
-	cost := energy.Zero
-	for i := range e.stages {
+	// Layers rewrite their own arrays, so reprogramming fans across the
+	// worker pool; per-layer costs fold in layer order below.
+	costs := make([]energy.Cost, len(e.stages))
+	err := parallel.ForErr(len(e.stages), func(i int) error {
 		s := &e.stages[i]
 		switch l := net.Layers[i].(type) {
 		case *nn.Dense:
 			if s.dense == nil || s.dense.InSize() != l.InSize() || s.dense.OutSize() != l.OutSize() {
-				return energy.Zero, fmt.Errorf("dpe: layer %d shape mismatch", i)
+				return fmt.Errorf("dpe: layer %d shape mismatch", i)
 			}
 			c, err := s.tile.Program(l.WeightMatrix())
 			if err != nil {
-				return energy.Zero, err
+				return err
 			}
-			cost = cost.Par(c)
+			costs[i] = c
 			s.dense, s.layer = l, l
 		case *nn.Conv2D:
 			if s.conv == nil || s.conv.InSize() != l.InSize() || s.conv.OutSize() != l.OutSize() {
-				return energy.Zero, fmt.Errorf("dpe: layer %d shape mismatch", i)
+				return fmt.Errorf("dpe: layer %d shape mismatch", i)
 			}
 			c, err := s.tile.Program(l.Im2ColMatrix())
 			if err != nil {
-				return energy.Zero, err
+				return err
 			}
 			c.EnergyPJ *= float64(e.cfg.ConvReplicas)
-			cost = cost.Par(c)
+			costs[i] = c
 			s.conv, s.layer = l, l
 		default:
 			if s.tile != nil {
-				return energy.Zero, fmt.Errorf("dpe: layer %d kind mismatch", i)
+				return fmt.Errorf("dpe: layer %d kind mismatch", i)
 			}
 			s.layer = net.Layers[i]
 		}
+		return nil
+	})
+	if err != nil {
+		return energy.Zero, err
+	}
+	cost := energy.Zero
+	for _, c := range costs {
+		cost = cost.Par(c)
 	}
 	e.net = net
 	e.programCost = cost
@@ -227,21 +264,24 @@ func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 	v := in
 	total := energy.Zero
 	for i := range e.stages {
-		out, cost, err := e.runStage(&e.stages[i], v)
+		out, cost, err := e.runStage(&e.stages[i], v, e.rng)
 		if err != nil {
 			return nil, energy.Zero, fmt.Errorf("dpe: stage %d (%s): %w", i, e.stages[i].layer.Name(), err)
 		}
 		total = total.Seq(cost)
 		v = out
 	}
-	e.inferences++
+	e.inferences.Add(1)
 	return v, total, nil
 }
 
-func (e *Engine) runStage(s *stage, in []float64) ([]float64, energy.Cost, error) {
+// runStage executes one stage. rng supplies analog read noise; batch items
+// executing concurrently pass nil (noise disabled) so no RNG state is
+// shared across pool workers.
+func (e *Engine) runStage(s *stage, in []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
 	switch {
 	case s.dense != nil:
-		out, cost, err := s.tile.MVM(in, e.rng)
+		out, cost, err := s.tile.MVM(in, rng)
 		if err != nil {
 			return nil, energy.Zero, err
 		}
@@ -252,7 +292,7 @@ func (e *Engine) runStage(s *stage, in []float64) ([]float64, energy.Cost, error
 		cost = cost.Seq(energy.Cost{EnergyPJ: float64(len(out)) * energy.ShiftAddEnergyPJ})
 		return out, cost, nil
 	case s.conv != nil:
-		return e.runConv(s, in)
+		return e.runConv(s, in, rng)
 	default:
 		return e.runDigital(s.layer, in)
 	}
@@ -261,7 +301,7 @@ func (e *Engine) runStage(s *stage, in []float64) ([]float64, energy.Cost, error
 // runConv streams im2col patches through the filter crossbar. Replicas
 // process patches concurrently: latency covers ceil(patches/replicas)
 // waves, energy covers every patch.
-func (e *Engine) runConv(s *stage, in []float64) ([]float64, energy.Cost, error) {
+func (e *Engine) runConv(s *stage, in []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
 	l := s.conv
 	oh, ow := l.OutH(), l.OutW()
 	out := make([]float64, oh*ow*l.F)
@@ -273,7 +313,7 @@ func (e *Engine) runConv(s *stage, in []float64) ([]float64, energy.Cost, error)
 			if err != nil {
 				return nil, energy.Zero, err
 			}
-			y, cost, err := s.tile.MVM(patch, e.rng)
+			y, cost, err := s.tile.MVM(patch, rng)
 			if err != nil {
 				return nil, energy.Zero, err
 			}
@@ -311,6 +351,13 @@ func (e *Engine) runDigital(layer nn.Layer, in []float64) ([]float64, energy.Cos
 // fill + (n-1) x bottleneck, far better than n x single-inference latency.
 // Energy is n x per-inference energy. This is the ISAAC-style throughput
 // mode behind the Section VI claims.
+//
+// The simulator fans independent batch items across the worker pool:
+// programmed tiles are read-only during MVM, so items share them safely.
+// When analog read noise is enabled the items would share the engine's
+// RNG, so the batch runs sequentially in index order to preserve the
+// historical draw sequence. Outputs and the returned cost are
+// bit-identical at any pool width.
 func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
@@ -318,21 +365,23 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 	if len(inputs) == 0 {
 		return nil, energy.Zero, fmt.Errorf("dpe: empty batch")
 	}
-	outs := make([][]float64, len(inputs))
-	var fill energy.Cost
-	var bottleneck int64
-	var perInferEnergy float64
 	for i, in := range inputs {
 		if len(in) != e.net.InSize() {
 			return nil, energy.Zero, fmt.Errorf("dpe: input %d length %d != %d", i, len(in), e.net.InSize())
 		}
-		v := in
+	}
+
+	outs := make([][]float64, len(inputs))
+	totals := make([]energy.Cost, len(inputs))
+	stageMaxes := make([]int64, len(inputs))
+	runItem := func(i int, rng *rand.Rand) error {
+		v := inputs[i]
 		var stageMax int64
 		total := energy.Zero
 		for s := range e.stages {
-			out, cost, err := e.runStage(&e.stages[s], v)
+			out, cost, err := e.runStage(&e.stages[s], v, rng)
 			if err != nil {
-				return nil, energy.Zero, fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
+				return fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
 			}
 			total = total.Seq(cost)
 			if cost.LatencyPS > stageMax {
@@ -340,17 +389,27 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 			}
 			v = out
 		}
-		outs[i] = v
-		e.inferences++
-		if i == 0 {
-			fill = total
-			bottleneck = stageMax
-			perInferEnergy = total.EnergyPJ
-		}
+		outs[i], totals[i], stageMaxes[i] = v, total, stageMax
+		e.inferences.Add(1)
+		return nil
 	}
+	if e.cfg.Crossbar.ReadNoise > 0 {
+		// Noise draws come from the engine's single RNG: run items in
+		// index order so the draw sequence matches the serial simulator.
+		for i := range inputs {
+			if err := runItem(i, e.rng); err != nil {
+				return nil, energy.Zero, err
+			}
+		}
+	} else if err := parallel.ForErr(len(inputs), func(i int) error {
+		return runItem(i, nil)
+	}); err != nil {
+		return nil, energy.Zero, err
+	}
+
 	cost := energy.Cost{
-		LatencyPS: fill.LatencyPS + int64(len(inputs)-1)*bottleneck,
-		EnergyPJ:  perInferEnergy * float64(len(inputs)),
+		LatencyPS: totals[0].LatencyPS + int64(len(inputs)-1)*stageMaxes[0],
+		EnergyPJ:  totals[0].EnergyPJ * float64(len(inputs)),
 	}
 	return outs, cost, nil
 }

@@ -1,0 +1,235 @@
+package dpe
+
+import (
+	"math/rand"
+	"testing"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/parallel"
+)
+
+// batchRun loads a fresh engine and runs a batch at the given pool width,
+// returning everything the equivalence tests compare.
+func batchRun(t *testing.T, width, batch int) ([][]float64, energy.Cost, energy.Cost, int64) {
+	t.Helper()
+	parallel.SetWidth(width)
+
+	net := mlp(t, 96, 80, 24, 10) // spans multiple 64x64 tiles per layer
+	eng, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	progCost, err := eng.Load(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	inputs := make([][]float64, batch)
+	for i := range inputs {
+		inputs[i] = make([]float64, 96)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	outs, cost, err := eng.InferBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, progCost, cost, eng.Inferences()
+}
+
+// TestInferBatchParallelEquivalence is the DPE half of the determinism
+// contract: batch outputs, programming cost, and batch energy/latency must
+// be bit-identical at pool widths 1, 4, and 16.
+func TestInferBatchParallelEquivalence(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+
+	const batch = 17 // deliberately not a multiple of any width
+	refOuts, refProg, refCost, refInf := batchRun(t, 1, batch)
+	if refInf != batch {
+		t.Fatalf("serial Inferences() = %d, want %d", refInf, batch)
+	}
+	for _, w := range []int{4, 16} {
+		outs, prog, cost, inf := batchRun(t, w, batch)
+		if prog != refProg {
+			t.Fatalf("width %d: program cost %v != serial %v", w, prog, refProg)
+		}
+		if cost != refCost {
+			t.Fatalf("width %d: batch cost %v != serial %v", w, cost, refCost)
+		}
+		if inf != batch {
+			t.Fatalf("width %d: Inferences() = %d, want %d", w, inf, batch)
+		}
+		if len(outs) != len(refOuts) {
+			t.Fatalf("width %d: %d outputs, want %d", w, len(outs), len(refOuts))
+		}
+		for i := range outs {
+			for j := range outs[i] {
+				if outs[i][j] != refOuts[i][j] {
+					t.Fatalf("width %d: out[%d][%d] = %v != serial %v",
+						w, i, j, outs[i][j], refOuts[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchNoisySequentialFallback: with read noise enabled the batch
+// shares the engine RNG, so results must not depend on the pool width.
+func TestInferBatchNoisySequentialFallback(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+
+	run := func(width int) [][]float64 {
+		parallel.SetWidth(width)
+		cfg := testConfig()
+		cfg.Crossbar.Functional = false
+		cfg.Crossbar.ReadNoise = 0.01
+		cfg.Seed = 5
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Load(mlp(t, 32, 16, 8)); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		inputs := make([][]float64, 6)
+		for i := range inputs {
+			inputs[i] = make([]float64, 32)
+			for j := range inputs[i] {
+				inputs[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		outs, _, err := eng.InferBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	ref := run(1)
+	for _, w := range []int{4, 16} {
+		got := run(w)
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("width %d: noisy out[%d][%d] = %v != serial %v",
+						w, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestReprogramParallelEquivalence: layer reprogramming costs fold in layer
+// order, so Reprogram totals must match across widths too.
+func TestReprogramParallelEquivalence(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+
+	run := func(width int) (energy.Cost, energy.Cost) {
+		parallel.SetWidth(width)
+		eng, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Load(mlp(t, 80, 40, 12)); err != nil {
+			t.Fatal(err)
+		}
+		// Same-topology replacement weights.
+		net2 := mlp(t, 80, 40, 12)
+		stall, err := eng.Reprogram(net2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hidden, err := eng.Reprogram(net2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stall, hidden
+	}
+	refStall, refHidden := run(1)
+	for _, w := range []int{4, 16} {
+		stall, hidden := run(w)
+		if stall != refStall || hidden != refHidden {
+			t.Fatalf("width %d: reprogram costs (%v,%v) != serial (%v,%v)",
+				w, stall, hidden, refStall, refHidden)
+		}
+	}
+}
+
+// TestClusterParallelEquivalence: cluster batches split across boards must
+// produce identical outputs and totals at any pool width.
+func TestClusterParallelEquivalence(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+
+	run := func(width int) ([][]float64, energy.Cost) {
+		parallel.SetWidth(width)
+		cluster, err := NewCluster(testConfig(), 3, 1.0, 100e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := mlp(t, 48, 24, 8)
+		if _, err := cluster.Load(net); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		inputs := make([][]float64, 10)
+		for i := range inputs {
+			inputs[i] = make([]float64, 48)
+			for j := range inputs[i] {
+				inputs[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		outs, cost, err := cluster.InferBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, cost
+	}
+	refOuts, refCost := run(1)
+	for _, w := range []int{4, 16} {
+		outs, cost := run(w)
+		if cost != refCost {
+			t.Fatalf("width %d: cluster cost %v != serial %v", w, cost, refCost)
+		}
+		for i := range outs {
+			for j := range outs[i] {
+				if outs[i][j] != refOuts[i][j] {
+					t.Fatalf("width %d: cluster out[%d][%d] differs", w, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestInferencesCounterConcurrentRead: Inferences() must be safe to read
+// while a batch is retiring from pool workers (exercised under -race).
+func TestInferencesCounterConcurrentRead(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+	parallel.SetWidth(8)
+
+	eng, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Load(mlp(t, 64, 16, 4)); err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]float64, 32)
+	for i := range inputs {
+		inputs[i] = make([]float64, 64)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = eng.Inferences()
+		}
+	}()
+	if _, _, err := eng.InferBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := eng.Inferences(); got != int64(len(inputs)) {
+		t.Fatalf("Inferences() = %d, want %d", got, len(inputs))
+	}
+}

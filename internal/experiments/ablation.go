@@ -7,6 +7,7 @@ import (
 
 	"cimrev/internal/dpe"
 	"cimrev/internal/nn"
+	"cimrev/internal/parallel"
 	"cimrev/internal/suitability"
 	"cimrev/internal/workloads"
 )
@@ -56,24 +57,27 @@ func ADCAblation(bits []int) (*ADCResult, error) {
 		return nil, err
 	}
 
-	res := &ADCResult{}
-	for _, b := range bits {
+	// Resolution points are independent — each deploys the shared trained
+	// network (read-only) through its own engine and RNG — so they fan out
+	// across the worker pool, rows collected in sweep order.
+	rows, err := parallel.MapErr(len(bits), func(idx int) (ADCRow, error) {
+		b := bits[idx]
 		cfg := dpe.DefaultConfig()
 		cfg.Crossbar.Functional = false
 		cfg.Crossbar.ADCBits = b
 		eng, err := dpe.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: adc %d: %w", b, err)
+			return ADCRow{}, fmt.Errorf("experiments: adc %d: %w", b, err)
 		}
 		if _, err := eng.Load(net); err != nil {
-			return nil, err
+			return ADCRow{}, err
 		}
 		correct := 0
 		var lastEnergy float64
 		for i, in := range testIn {
 			out, cost, err := eng.Infer(in)
 			if err != nil {
-				return nil, err
+				return ADCRow{}, err
 			}
 			lastEnergy = cost.EnergyPJ
 			best := 0
@@ -86,14 +90,17 @@ func ADCAblation(bits []int) (*ADCResult, error) {
 				correct++
 			}
 		}
-		res.Rows = append(res.Rows, ADCRow{
+		return ADCRow{
 			Bits:             b,
 			Accuracy:         float64(correct) / float64(len(testIn)),
 			SoftwareAccuracy: swAcc,
 			EnergyPJ:         lastEnergy,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ADCResult{Rows: rows}, nil
 }
 
 // Format renders the ablation table.
@@ -151,26 +158,30 @@ func NoiseAblation(sigmas []float64) (*NoiseResult, error) {
 		return nil, err
 	}
 
-	res := &NoiseResult{}
-	for _, sigma := range sigmas {
+	// Noise points fan out across the worker pool: each point owns its
+	// engine and therefore its noise RNG, whose draw order within the point
+	// is preserved because the point's test set runs serially. Rows are
+	// collected in sweep order, so results match serial execution exactly.
+	rows, err := parallel.MapErr(len(sigmas), func(idx int) (NoiseRow, error) {
+		sigma := sigmas[idx]
 		if sigma < 0 {
-			return nil, fmt.Errorf("experiments: negative noise %g", sigma)
+			return NoiseRow{}, fmt.Errorf("experiments: negative noise %g", sigma)
 		}
 		cfg := dpe.DefaultConfig()
 		cfg.Crossbar.Functional = false
 		cfg.Crossbar.ReadNoise = sigma
 		eng, err := dpe.New(cfg)
 		if err != nil {
-			return nil, err
+			return NoiseRow{}, err
 		}
 		if _, err := eng.Load(net); err != nil {
-			return nil, err
+			return NoiseRow{}, err
 		}
 		correct := 0
 		for i, in := range testIn {
 			out, _, err := eng.Infer(in)
 			if err != nil {
-				return nil, err
+				return NoiseRow{}, err
 			}
 			best := 0
 			for j := range out {
@@ -182,13 +193,16 @@ func NoiseAblation(sigmas []float64) (*NoiseResult, error) {
 				correct++
 			}
 		}
-		res.Rows = append(res.Rows, NoiseRow{
+		return NoiseRow{
 			Sigma:            sigma,
 			Accuracy:         float64(correct) / float64(len(testIn)),
 			SoftwareAccuracy: swAcc,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &NoiseResult{Rows: rows}, nil
 }
 
 // Format renders the noise ablation.
@@ -240,20 +254,23 @@ func ParallelismSweep(points []float64) (*ParallelismResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &ParallelismResult{}
-	for _, p := range points {
+	rows, err := parallel.MapErr(len(points), func(i int) (ParallelismRow, error) {
+		p := points[i]
 		k := base
 		k.Parallelism = p
 		cim, err := suitability.CIMCost(k)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: parallelism %g: %w", p, err)
+			return ParallelismRow{}, fmt.Errorf("experiments: parallelism %g: %w", p, err)
 		}
-		res.Rows = append(res.Rows, ParallelismRow{
+		return ParallelismRow{
 			Parallelism: p,
 			Speedup:     float64(vn.LatencyPS) / float64(cim.LatencyPS),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ParallelismResult{Rows: rows}, nil
 }
 
 // Format renders the sweep.

@@ -4,6 +4,13 @@
 // (latency, bandwidth, power, scale). Each experiment returns structured
 // rows plus a formatted text table, and is driven both by cmd/cimbench and
 // by the top-level benchmarks.
+//
+// Sweep-style experiments (SecVI, Scale, ADCAblation, NoiseAblation,
+// ParallelismSweep) fan their independent sweep points across the
+// internal/parallel worker pool and collect rows in sweep order, so the
+// emitted tables are bit-identical at any pool width — only wall-clock
+// time changes. Control the width with cimbench's -parallel flag or
+// parallel.SetWidth; see docs/PARALLELISM.md for the determinism argument.
 package experiments
 
 import (

@@ -8,6 +8,7 @@ import (
 	"cimrev/internal/dpe"
 	"cimrev/internal/energy"
 	"cimrev/internal/nn"
+	"cimrev/internal/parallel"
 	"cimrev/internal/vonneumann"
 )
 
@@ -85,29 +86,31 @@ func vnBatchedCost(m vonneumann.Machine, n int) (energy.Cost, error) {
 }
 
 // SecVI sweeps square layer sizes through the DPE and the Von Neumann
-// baselines.
+// baselines. Sweep points are independent (each owns its RNG, network, and
+// engine), so they fan out across the worker pool with rows collected in
+// size order — the result is bit-identical at any pool width.
 func SecVI(sizes []int) (*SecVIResult, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("experiments: empty size sweep")
 	}
 	cpu := vonneumann.CPU()
 	gpu := vonneumann.GPU()
-	res := &SecVIResult{}
-	for _, n := range sizes {
+	rows, err := parallel.MapErr(len(sizes), func(idx int) (SecVIRow, error) {
+		n := sizes[idx]
 		if n <= 0 {
-			return nil, fmt.Errorf("experiments: invalid layer size %d", n)
+			return SecVIRow{}, fmt.Errorf("experiments: invalid layer size %d", n)
 		}
 		rng := rand.New(rand.NewSource(int64(n)))
 		net, err := denseOnly(n, rng)
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		eng, err := dpe.New(dpe.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		if _, err := eng.Load(net); err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		in := make([]float64, n)
 		for i := range in {
@@ -115,26 +118,26 @@ func SecVI(sizes []int) (*SecVIResult, error) {
 		}
 		_, dpeCost, err := eng.Infer(in)
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 
 		// Single-sample latency on the baselines (weights stream).
 		cpuSingle, err := cpu.Run(vonneumann.GEMV(n, n, 4, 32<<20, false))
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		gpuSingle, err := gpu.Run(vonneumann.GEMV(n, n, 4, 32<<20, false))
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		// Batched energy per inference.
 		cpuBatch, err := vnBatchedCost(cpu, n)
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 		gpuBatch, err := vnBatchedCost(gpu, n)
 		if err != nil {
-			return nil, err
+			return SecVIRow{}, err
 		}
 
 		// Aggregate array bandwidth for a fully-populated board: every
@@ -149,7 +152,7 @@ func SecVI(sizes []int) (*SecVIResult, error) {
 			(float64(energy.CrossbarReadLatencyPS) * 1e-12)
 		effBW := eng.EffectiveWeightBandwidth(dpeCost)
 
-		res.Rows = append(res.Rows, SecVIRow{
+		return SecVIRow{
 			N:              n,
 			DPELatencyPS:   dpeCost.LatencyPS,
 			DPEEnergyPJ:    dpeCost.EnergyPJ,
@@ -160,9 +163,12 @@ func SecVI(sizes []int) (*SecVIResult, error) {
 			PowVsCPUSingle: cpuSingle.EnergyPJ / dpeCost.EnergyPJ,
 			BWVsCPU:        aggBW / energy.CPUMemBandwidth,
 			BWVsGPU:        effBW / energy.GPUMemBandwidth,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SecVIResult{Rows: rows}, nil
 }
 
 func ratio(a, b int64) float64 {
@@ -225,41 +231,56 @@ func Scale(boardCounts []int, layerN, batch int) (*ScaleResult, error) {
 		}
 	}
 
-	var oneBoard energy.Cost
-	res := &ScaleResult{}
-	for _, boards := range boardCounts {
+	// Board-count points are independent (each owns its cluster), so the
+	// expensive simulation fans across the worker pool; the efficiency
+	// normalization against the one-board point runs in a serial pass
+	// afterwards, in sweep order, so results match serial execution.
+	type scalePoint struct {
+		batchCost, stall, hidden energy.Cost
+	}
+	points, err := parallel.MapErr(len(boardCounts), func(i int) (scalePoint, error) {
+		boards := boardCounts[i]
 		cluster, err := dpe.NewCluster(dpe.DefaultConfig(), boards, 1.0, 100e9)
 		if err != nil {
-			return nil, err
+			return scalePoint{}, err
 		}
 		if _, err := cluster.Load(net); err != nil {
-			return nil, err
+			return scalePoint{}, err
 		}
 		_, batchCost, err := cluster.InferBatch(inputs)
 		if err != nil {
-			return nil, err
+			return scalePoint{}, err
 		}
-		if boards == boardCounts[0] && boardCounts[0] == 1 {
-			oneBoard = batchCost
-		}
-		eff := 1.0
-		if oneBoard.LatencyPS > 0 {
-			eff = dpe.ScalingEfficiency(oneBoard, batchCost, boards)
-		}
-
 		stall, err := cluster.ReprogramAll(net, false)
 		if err != nil {
-			return nil, err
+			return scalePoint{}, err
 		}
 		hidden, err := cluster.ReprogramAll(net, true)
 		if err != nil {
-			return nil, err
+			return scalePoint{}, err
+		}
+		return scalePoint{batchCost: batchCost, stall: stall, hidden: hidden}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var oneBoard energy.Cost
+	res := &ScaleResult{}
+	for i, boards := range boardCounts {
+		p := points[i]
+		if boards == boardCounts[0] && boardCounts[0] == 1 {
+			oneBoard = p.batchCost
+		}
+		eff := 1.0
+		if oneBoard.LatencyPS > 0 {
+			eff = dpe.ScalingEfficiency(oneBoard, p.batchCost, boards)
 		}
 		res.Rows = append(res.Rows, ScaleRow{
 			Boards:          boards,
 			Efficiency:      eff,
-			UpdateStallPct:  100 * float64(stall.LatencyPS) / float64(batchCost.LatencyPS+stall.LatencyPS),
-			UpdateHiddenPct: 100 * float64(hidden.LatencyPS) / float64(batchCost.LatencyPS+hidden.LatencyPS),
+			UpdateStallPct:  100 * float64(p.stall.LatencyPS) / float64(p.batchCost.LatencyPS+p.stall.LatencyPS),
+			UpdateHiddenPct: 100 * float64(p.hidden.LatencyPS) / float64(p.batchCost.LatencyPS+p.hidden.LatencyPS),
 		})
 	}
 	return res, nil
