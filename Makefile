@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json cover fuzz experiments examples clean
 
 all: build vet test
 
-# Tier-1 verify path: build + vet + tests, then the same tests again under
-# the race detector (the parallel simulation engine must stay race-clean).
-verify: build vet test race
+# Tier-1 verify path: format + build + vet + tests, then the same tests
+# again under the race detector (the parallel simulation engine must stay
+# race-clean).
+verify: fmt-check build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,16 +15,35 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any tracked Go file is not gofmt-clean; prints the offenders.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Race-detector pass over the whole tree; parallelism is on by default
 # (pool width = GOMAXPROCS), so this exercises the concurrent hot paths.
+# The second invocation pins the noisy parallel-equivalence suites — the
+# tests that prove counter-based noise is bit-identical at any pool width —
+# so a -run filter or cached result can never silently skip them.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 \
+		-run 'Noisy|ParallelEquivalence|OrderIndependence' \
+		./internal/crossbar/ ./internal/dpe/ ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable record of the MVM kernel benchmarks (satellite of the
+# cache-aware kernel rewrite): runs the BenchmarkCrossbarMVM sweep with
+# allocation stats and converts the output to BENCH_mvm.json.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkCrossbarMVM$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_mvm.json
+	@echo wrote BENCH_mvm.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

@@ -157,7 +157,7 @@ func BenchmarkAblationADCBits(b *testing.B) {
 			var cost energy.Cost
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, cost, err = xb.MVM(in, nil)
+				_, cost, err = xb.MVM(in, crossbar.NoNoise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -189,7 +189,7 @@ func BenchmarkAblationCellBits(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, cost, err = xb.MVM(in, nil)
+				_, cost, err = xb.MVM(in, crossbar.NoNoise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -338,42 +338,45 @@ func runFailover(b *testing.B, withSpare bool) float64 {
 
 // --- Substrate micro-benchmarks ---
 
-func BenchmarkCrossbarMVMBitSerial(b *testing.B) {
-	cfg := crossbar.DefaultConfig()
-	xb, err := crossbar.New(cfg)
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkCrossbarMVM is the MVM kernel's perf trajectory: a size sweep
+// (64-512 rows, 8-bit weights/inputs) in bit-serial, functional, and noisy
+// modes, through the zero-allocation MVMInto path. `make bench-json`
+// serializes this benchmark into BENCH_mvm.json so future PRs can track
+// regressions; docs/PERF.md records the history.
+func BenchmarkCrossbarMVM(b *testing.B) {
+	run := func(name string, cfg crossbar.Config, n int, ns NoiseSource) {
+		b.Run(name, func(b *testing.B) {
+			cfg.Rows, cfg.Cols = n, n
+			xb, err := crossbar.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			if _, err := xb.Program(randomMatrix(rng, n, n)); err != nil {
+				b.Fatal(err)
+			}
+			in := randomVector(rng, n)
+			dst := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := xb.MVMInto(dst, in, ns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	rng := rand.New(rand.NewSource(1))
-	if _, err := xb.Program(randomMatrix(rng, 128, 128)); err != nil {
-		b.Fatal(err)
-	}
-	in := randomVector(rng, 128)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := xb.MVM(in, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+	for _, n := range []int{64, 128, 256, 512} {
+		base := crossbar.DefaultConfig() // 8b weights, 8b inputs
+		run(fmt.Sprintf("%dx%d_8b", n, n), base, n, NoNoise)
 
-func BenchmarkCrossbarMVMFunctional(b *testing.B) {
-	cfg := crossbar.DefaultConfig()
-	cfg.Functional = true
-	xb, err := crossbar.New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(1))
-	if _, err := xb.Program(randomMatrix(rng, 128, 128)); err != nil {
-		b.Fatal(err)
-	}
-	in := randomVector(rng, 128)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := xb.MVM(in, nil); err != nil {
-			b.Fatal(err)
-		}
+		fn := base
+		fn.Functional = true
+		run(fmt.Sprintf("%dx%d_8b_func", n, n), fn, n, NoNoise)
+
+		noisy := base
+		noisy.ReadNoise = 0.02
+		run(fmt.Sprintf("%dx%d_8b_noisy", n, n), noisy, n, NewNoiseSource(7))
 	}
 }
 

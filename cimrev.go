@@ -32,6 +32,7 @@ import (
 	"cimrev/internal/memristor"
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
+	"cimrev/internal/noise"
 	"cimrev/internal/packet"
 	"cimrev/internal/parallel"
 	"cimrev/internal/service"
@@ -69,7 +70,18 @@ type (
 	Crossbar = crossbar.Crossbar
 	// CrossbarTile block-decomposes large matrices over many crossbars.
 	CrossbarTile = crossbar.Tile
+	// NoiseSource is a counter-based analog-noise stream: draws are pure
+	// functions of (source, index), so noisy simulations reproduce
+	// bit-identically at any worker-pool width (see internal/noise).
+	NoiseSource = noise.Source
 )
+
+// NoNoise is the zero noise source for noise-free crossbar MVMs.
+var NoNoise = crossbar.NoNoise
+
+// NewNoiseSource returns the root noise source for a seed. Derive children
+// per unit of work; the same seed always reproduces the same tree.
+func NewNoiseSource(seed int64) NoiseSource { return noise.NewSource(seed) }
 
 // DefaultCrossbarConfig returns the ISAAC-scale array configuration.
 func DefaultCrossbarConfig() CrossbarConfig { return crossbar.DefaultConfig() }

@@ -191,7 +191,7 @@ func TestFacadeCrossbar(t *testing.T) {
 	if _, err := xb.Program([][]float64{{0.5}}); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := xb.MVM([]float64{1}, nil)
+	out, _, err := xb.MVM([]float64{1}, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,183 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark results can be archived and diffed by machines
+// instead of eyeballed in terminal scrollback.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkCrossbarMVM' -benchmem . | go run ./cmd/benchjson > BENCH_mvm.json
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_mvm.json
+//
+// The parser understands the standard benchmark result line
+//
+//	BenchmarkCrossbarMVM/256x256_8b-8   646   1865410 ns/op   6144 B/op   3 allocs/op
+//
+// plus the `goos:`/`goarch:`/`pkg:`/`cpu:` header lines, which are carried
+// into the JSON as metadata. Non-benchmark lines (PASS, ok, test logs) are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name with the -P GOMAXPROCS suffix
+	// stripped, e.g. "BenchmarkCrossbarMVM/256x256_8b".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (the "-8" in "...-8"), 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem;
+	// they are -1 when the input line lacked them.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	GeneratedAt string            `json:"generated_at"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+	Results     []Result          `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	doc, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Parse reads `go test -bench` text output and returns the structured
+// document. It never fails on unrecognized lines — only on I/O errors or
+// malformed numbers inside a line that is definitely a benchmark result.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Metadata:    map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Metadata[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+			if ok {
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine parses one benchmark result line. ok is false for lines that
+// start with "Benchmark" but are not result lines (e.g. a bare benchmark
+// name echoed by -v).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	// Minimum: name, iterations, value, "ns/op".
+	if len(fields) < 4 {
+		return Result{}, false, nil
+	}
+	res := Result{Name: fields[0], Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = p
+			res.Name = res.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // "BenchmarkFoo" + prose, not a result line
+	}
+	res.Iterations = n
+
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false, err
+			}
+			res.NsPerOp = v
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false, err
+			}
+			res.BytesPerOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false, err
+			}
+			res.AllocsPerOp = v
+		}
+	}
+	if res.NsPerOp == 0 && !strings.Contains(line, "ns/op") {
+		return Result{}, false, nil
+	}
+	return res, true, nil
+}

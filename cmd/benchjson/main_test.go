@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cimrev
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkCrossbarMVM/256x256_8b-8         	     646	   1865410 ns/op	    6144 B/op	       3 allocs/op
+BenchmarkCrossbarMVM/256x256_8b_func-8    	    1621	    740025 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSecVILatency-8                   	      12	  98765432 ns/op
+PASS
+ok  	cimrev	12.345s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Metadata["cpu"]; got != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Errorf("cpu metadata = %q", got)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkCrossbarMVM/256x256_8b" || r.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 646 || r.NsPerOp != 1865410 || r.BytesPerOp != 6144 || r.AllocsPerOp != 3 {
+		t.Errorf("first result fields wrong: %+v", r)
+	}
+	// Line without -benchmem columns: B/op and allocs/op report absent.
+	r = doc.Results[2]
+	if r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("missing benchmem columns should be -1, got %+v", r)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	doc, err := Parse(strings.NewReader("BenchmarkBroken\nsome log line\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("expected 0 results, got %d", len(doc.Results))
+	}
+}

@@ -13,9 +13,12 @@
 //
 // Simulated results are bit-identical at every -parallel width: the flag
 // only controls how many OS threads chew through the independent tiles,
-// batch items, and sweep points (see docs/PARALLELISM.md). Selected
-// experiments also run concurrently with each other, with output printed
-// in the canonical order.
+// batch items, and sweep points (see docs/PARALLELISM.md). That includes
+// the noisy experiments (adc, noise): analog read noise is counter-based —
+// every draw is a pure function of (seed, inference, stage, block,
+// position) — so noisy sweeps fan out like noise-free ones instead of
+// forcing themselves serial. Selected experiments also run concurrently
+// with each other, with output printed in the canonical order.
 package main
 
 import (
@@ -70,7 +73,9 @@ func run(exp, sizeList, boardList string) error {
 		{"scale", func() (formatter, error) { return experiments.Scale(boards, 512, 64) }},
 		{"adc", func() (formatter, error) { return experiments.ADCAblation([]int{2, 4, 6, 8, 10}) }},
 		{"noise", func() (formatter, error) { return experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3}) }},
-		{"parallelism", func() (formatter, error) { return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99}) }},
+		{"parallelism", func() (formatter, error) {
+			return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
+		}},
 	}
 
 	selected := jobs[:0:0]

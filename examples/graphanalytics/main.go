@@ -64,7 +64,7 @@ func run() error {
 	}
 	total := cimrev.Cost{}
 	for it := 0; it < iterations; it++ {
-		next, cost, err := tile.MVM(rank, nil)
+		next, cost, err := tile.MVM(rank, cimrev.NoNoise)
 		if err != nil {
 			return err
 		}

@@ -2,8 +2,8 @@ package cim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"cimrev/internal/crossbar"
 	"cimrev/internal/dataflow"
@@ -11,6 +11,7 @@ import (
 	"cimrev/internal/interconnect"
 	"cimrev/internal/isa"
 	"cimrev/internal/metrics"
+	"cimrev/internal/noise"
 	"cimrev/internal/packet"
 )
 
@@ -66,7 +67,12 @@ type Fabric struct {
 	mesh   *interconnect.Mesh
 	ledger *energy.Ledger
 	reg    *metrics.Registry
-	rng    *rand.Rand
+	// src roots the board's counter-based noise tree; mvmSeq numbers the
+	// board's MVMs so each analog read gets its own derived stream. The
+	// counter is atomic so concurrent dataflow execution stays race-free,
+	// and draws depend only on (seed, MVM number), not goroutine schedule.
+	src    noise.Source
+	mvmSeq atomic.Uint64
 
 	units  map[packet.Address]*Unit
 	byNode map[dataflow.NodeID]packet.Address
@@ -88,7 +94,7 @@ func NewFabric(cfg Config, ledger *energy.Ledger, reg *metrics.Registry) (*Fabri
 		mesh:   mesh,
 		ledger: ledger,
 		reg:    reg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		src:    noise.NewSource(cfg.Seed),
 		units:  make(map[packet.Address]*Unit),
 		byNode: make(map[dataflow.NodeID]packet.Address),
 	}
@@ -221,7 +227,7 @@ func (f *Fabric) funcFactory(fn isa.Function, weights [][]float64) (dataflow.Nod
 // nil when the tile is not attached to a tracked unit.
 func (f *Fabric) mvmFunc(tile *crossbar.Tile, unit *Unit) dataflow.NodeFunc {
 	return func(_ *dataflow.State, in []float64) ([]float64, energy.Cost, error) {
-		out, cost, err := tile.MVM(in, f.rng)
+		out, cost, err := tile.MVM(in, f.src.Derive(f.mvmSeq.Add(1)-1))
 		if err != nil {
 			return nil, energy.Zero, err
 		}

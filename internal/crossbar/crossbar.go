@@ -19,6 +19,30 @@
 // standard trick for unipolar conductances and lets one array serve signed
 // arithmetic.
 //
+// # Kernel layout
+//
+// The simulator's MVM kernel is organized for locality and zero
+// steady-state allocation (see docs/PERF.md for measurements):
+//
+//   - Slice levels are stored column-major (sliceT[s][c*Rows+r]), so the
+//     row reduction for a column is a contiguous scan.
+//   - When the shape allows (≤4 slices, no 16-bit lane overflow), slices
+//     are additionally packed into 16-bit lanes of one word per cell
+//     (packedT), so the bit-serial gather reads every slice of a cell at
+//     once and the per-slice column sums fall out of lane extraction.
+//   - Active-row index lists are built once per MVM per input bit, so the
+//     bit-serial loop only touches rows whose input bit is set instead of
+//     testing every (row, column) cell.
+//   - Shift-and-add scales come from a precomputed power-of-two table.
+//   - Working buffers live in a per-crossbar sync.Pool; noise-free MVMs on
+//     a programmed crossbar are read-only and safe to run concurrently.
+//
+// Analog read noise comes from a counter-based internal/noise Source: the
+// perturbation applied to (input bit b, slice s, column c) is a pure
+// function of the caller-provided source and that position, so noisy MVMs
+// are bit-identical at any worker-pool width and need no draw-order
+// serialization.
+//
 // Costs follow the constants in internal/energy. Programming (weight
 // updates) is three orders of magnitude slower than reading — the write
 // asymmetry Section VI names as the main scaling challenge.
@@ -27,10 +51,16 @@ package crossbar
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/noise"
 )
+
+// NoNoise is the zero noise source, for MVMs on noise-free configurations.
+// Passing it with ReadNoise > 0 is an error, exactly as a nil *rand.Rand
+// was before the counter-based generator.
+var NoNoise noise.Source
 
 // Config describes one logical crossbar: a stack of bit-slice arrays plus
 // converter resolutions.
@@ -46,7 +76,9 @@ type Config struct {
 	// InputBits is the DAC input resolution; inputs stream one bit per
 	// cycle.
 	InputBits int
-	// ADCBits is the column ADC resolution.
+	// ADCBits is the column ADC resolution. It must be at least 1:
+	// Validate rejects 0 at New time rather than letting a zero step
+	// silently degrade quantization in the kernel.
 	ADCBits int
 	// ReadNoise is the relative std-dev of analog column-sum noise.
 	ReadNoise float64
@@ -86,7 +118,7 @@ func (c Config) Validate() error {
 	case c.InputBits < 1 || c.InputBits > 16:
 		return fmt.Errorf("crossbar: InputBits must be in [1,16], got %d", c.InputBits)
 	case c.ADCBits < 1 || c.ADCBits > 16:
-		return fmt.Errorf("crossbar: ADCBits must be in [1,16], got %d", c.ADCBits)
+		return fmt.Errorf("crossbar: ADCBits must be in [1,16], got %d (an ADC needs at least one bit; 0 would collapse the quantization step)", c.ADCBits)
 	case c.ReadNoise < 0:
 		return fmt.Errorf("crossbar: ReadNoise must be non-negative, got %g", c.ReadNoise)
 	}
@@ -96,14 +128,41 @@ func (c Config) Validate() error {
 // slices returns the number of physical bit-slice arrays.
 func (c Config) slices() int { return c.WeightBits / c.CellBits }
 
-// Crossbar is one logical crossbar: slices() physical arrays of Rows x Cols
-// cells. Not safe for concurrent use.
-type Crossbar struct {
-	cfg Config
+// mvmScratch holds the per-MVM working set. Instances cycle through the
+// crossbar's pool so steady-state MVMs allocate nothing.
+type mvmScratch struct {
+	// xInt is the quantized, shift-encoded input.
+	xInt []int32
+	// acc accumulates shift-added partial sums per column.
+	acc []float64
+	// active holds the concatenated active-row lists, one run per input
+	// bit; activeStart[b] is the offset of bit b's run (activeStart has
+	// InputBits+1 entries).
+	active      []int32
+	activeStart []int32
+}
 
-	// sliceLevels[s][r*Cols+c] holds the CellBits-wide slice s of the
-	// shifted, quantized weight at (r, c).
-	sliceLevels [][]uint8
+// Crossbar is one logical crossbar: slices() physical arrays of Rows x Cols
+// cells. Programming mutates the crossbar and must not race with reads, but
+// MVM on a programmed crossbar is read-only (working state lives in pooled
+// scratch), so concurrent MVMs — the tiled/batched hot path — are safe.
+type Crossbar struct {
+	cfg       Config
+	numSlices int
+
+	// sliceT[s][c*Rows+r] holds the CellBits-wide slice s of the shifted,
+	// quantized weight at (r, c) — column-major, so the per-column row
+	// reduction in the MVM kernel is a contiguous scan.
+	sliceT [][]uint8
+
+	// packedT[c*Rows+r], when non-nil, packs every slice level of cell
+	// (r, c) into 16-bit lanes of one word (slice s at bit 16*s). The
+	// bit-serial kernel then loads all slices of a cell with a single
+	// gather and reads the per-slice column sums out of the lanes — exact
+	// integer arithmetic, bit-identical to the slice-at-a-time path.
+	// Program leaves it nil when the lanes don't fit: more than 4 slices,
+	// or cellMax*usedRows overflowing 16 bits.
+	packedT []uint64
 
 	// colSumInt[c] is the column sum of integer weights, stored at program
 	// time for digital offset removal.
@@ -115,10 +174,23 @@ type Crossbar struct {
 	// wScale restores programmed weights to their original range.
 	wScale float64
 
+	// adcStep and adcMaxSum are the ADC transfer function for the
+	// programmed shape: the ADC clips column sums to adcMaxSum and
+	// quantizes in steps of adcStep. Both are fixed at Program time.
+	adcStep, adcMaxSum float64
+
+	// scaleTab[k] = 2^k, the shift-and-add merge factors, indexed by
+	// inputBit + slice*CellBits.
+	scaleTab []float64
+
 	// writes counts cell programming operations (wear).
 	writes int64
 
 	programmed bool
+
+	// scratch pools *mvmScratch so concurrent MVMs on one crossbar don't
+	// contend on a shared buffer and steady-state MVMs don't allocate.
+	scratch sync.Pool
 }
 
 // New returns an unprogrammed crossbar.
@@ -131,10 +203,17 @@ func New(cfg Config) (*Crossbar, error) {
 	for i := range sl {
 		sl[i] = make([]uint8, n)
 	}
+	// Largest shift-add exponent: (InputBits-1) + (slices-1)*CellBits.
+	scaleTab := make([]float64, cfg.InputBits+cfg.WeightBits)
+	for i := range scaleTab {
+		scaleTab[i] = float64(int64(1) << uint(i))
+	}
 	return &Crossbar{
-		cfg:         cfg,
-		sliceLevels: sl,
-		colSumInt:   make([]int64, cfg.Cols),
+		cfg:       cfg,
+		numSlices: cfg.slices(),
+		sliceT:    sl,
+		colSumInt: make([]int64, cfg.Cols),
+		scaleTab:  scaleTab,
 	}, nil
 }
 
@@ -155,7 +234,8 @@ func (x *Crossbar) Writes() int64 { return x.writes }
 func (x *Crossbar) WeightScale() float64 { return x.wScale }
 
 // Program loads the weight matrix w (w[r][c], at most Rows x Cols). Weights
-// may be any finite values; the crossbar normalizes by max |w|. It returns
+// may be any finite values; the crossbar normalizes by max |w|. Shape and
+// finiteness are validated before any crossbar state changes. It returns
 // the programming cost: rows are written in parallel across columns but
 // serially row by row and slice stacks in parallel, so latency is
 // usedRows x write-latency, and energy covers every programmed cell.
@@ -167,6 +247,8 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 	if cols == 0 || cols > x.cfg.Cols {
 		return energy.Zero, fmt.Errorf("crossbar: weight cols %d outside [1,%d]", cols, x.cfg.Cols)
 	}
+	// Fail fast: ragged/NaN/Inf checks complete before quantization starts
+	// or any stored state is touched.
 	wScale := 0.0
 	for r, row := range w {
 		if len(row) != cols {
@@ -190,7 +272,7 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 	for i := range x.colSumInt {
 		x.colSumInt[i] = 0
 	}
-	for _, sl := range x.sliceLevels {
+	for _, sl := range x.sliceT {
 		for i := range sl {
 			sl[i] = 0
 		}
@@ -200,17 +282,51 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 			w01 := (w[r][c]/wScale + 1) / 2 // shift encode into [0,1]
 			wInt := int(math.Round(w01 * wMax))
 			x.colSumInt[c] += int64(wInt)
-			for s := 0; s < x.cfg.slices(); s++ {
+			for s := 0; s < x.numSlices; s++ {
 				shift := uint(s * x.cfg.CellBits)
-				x.sliceLevels[s][r*x.cfg.Cols+c] = uint8(wInt>>shift) & cellMask
+				x.sliceT[s][c*x.cfg.Rows+r] = uint8(wInt>>shift) & cellMask
 			}
 		}
 	}
 	x.usedRows, x.usedCols = len(w), cols
 	x.wScale = wScale
+
+	// Pack slice levels into 16-bit lanes when they fit (≤4 slices and no
+	// possible lane overflow): the bit-serial kernel then gathers each
+	// active cell once instead of once per slice.
+	cellMaxInt := int(1)<<x.cfg.CellBits - 1
+	if x.numSlices <= 4 && cellMaxInt*x.usedRows <= 0xFFFF {
+		n := x.cfg.Rows * x.cfg.Cols
+		if cap(x.packedT) < n {
+			x.packedT = make([]uint64, n)
+		}
+		x.packedT = x.packedT[:n]
+		for i := range x.packedT {
+			x.packedT[i] = 0
+		}
+		for s := 0; s < x.numSlices; s++ {
+			shift := uint(16 * s)
+			for i, lv := range x.sliceT[s] {
+				x.packedT[i] |= uint64(lv) << shift
+			}
+		}
+	} else {
+		x.packedT = nil
+	}
+
+	// ADC transfer function for one cycle+slice: the largest possible
+	// column sum is usedRows * cellMax; the ADC quantizes [0, adcMaxSum]
+	// into 2^ADCBits levels. Validate guarantees ADCBits >= 1 and Rows >=
+	// 1, so the step is always positive — there is deliberately no runtime
+	// fallback here (a zero step would mean a broken config, which New
+	// rejects).
+	cellMax := float64(int(1)<<x.cfg.CellBits - 1)
+	x.adcMaxSum = float64(x.usedRows) * cellMax
+	x.adcStep = x.adcMaxSum / float64(int(1)<<x.cfg.ADCBits-1)
+
 	x.programmed = true
 
-	cells := int64(len(w)) * int64(cols) * int64(x.cfg.slices())
+	cells := int64(len(w)) * int64(cols) * int64(x.numSlices)
 	x.writes += cells
 	return energy.Cost{
 		LatencyPS: int64(len(w)) * energy.CrossbarWriteLatencyPS,
@@ -219,25 +335,46 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 }
 
 // MVM computes y = W · input over the programmed submatrix through the full
-// analog pipeline. input must have usedRows elements; the result has
-// usedCols. rng supplies analog read noise and may be nil when ReadNoise is
-// zero.
-func (x *Crossbar) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+// analog pipeline, allocating the result vector. input must have usedRows
+// elements; the result has usedCols. ns supplies counter-based analog read
+// noise and may be NoNoise when ReadNoise is zero; the draw applied to
+// (input bit b, slice s, column c) is ns.Norm((b*slices+s)*usedCols + c),
+// so results are independent of evaluation order.
+func (x *Crossbar) MVM(input []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	if !x.programmed {
 		return nil, energy.Zero, fmt.Errorf("crossbar: MVM before Program")
 	}
-	if len(input) != x.usedRows {
-		return nil, energy.Zero, fmt.Errorf("crossbar: input length %d != programmed rows %d", len(input), x.usedRows)
+	out := make([]float64, x.usedCols)
+	cost, err := x.MVMInto(out, input, ns)
+	if err != nil {
+		return nil, energy.Zero, err
 	}
-	if x.cfg.ReadNoise > 0 && rng == nil {
-		return nil, energy.Zero, fmt.Errorf("crossbar: ReadNoise %g requires an rng", x.cfg.ReadNoise)
-	}
+	return out, cost, nil
+}
 
-	// Quantize and shift-encode the input.
+// MVMInto is MVM writing the result into dst (len usedCols). It is the
+// zero-allocation kernel: all working state comes from the crossbar's
+// scratch pool, so steady-state calls do not allocate. Safe for concurrent
+// use on a programmed crossbar.
+func (x *Crossbar) MVMInto(dst, input []float64, ns noise.Source) (energy.Cost, error) {
+	// Fail fast: every shape and value check completes before quantization
+	// or scratch acquisition.
+	if !x.programmed {
+		return energy.Zero, fmt.Errorf("crossbar: MVM before Program")
+	}
+	if len(input) != x.usedRows {
+		return energy.Zero, fmt.Errorf("crossbar: input length %d != programmed rows %d", len(input), x.usedRows)
+	}
+	if len(dst) != x.usedCols {
+		return energy.Zero, fmt.Errorf("crossbar: dst length %d != programmed cols %d", len(dst), x.usedCols)
+	}
+	if x.cfg.ReadNoise > 0 && !ns.Valid() {
+		return energy.Zero, fmt.Errorf("crossbar: ReadNoise %g requires a noise source", x.cfg.ReadNoise)
+	}
 	xScale := 0.0
-	for _, v := range input {
+	for i, v := range input {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, energy.Zero, fmt.Errorf("crossbar: non-finite input")
+			return energy.Zero, fmt.Errorf("crossbar: non-finite input at index %d", i)
 		}
 		if a := math.Abs(v); a > xScale {
 			xScale = a
@@ -246,95 +383,182 @@ func (x *Crossbar) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost,
 	if xScale == 0 {
 		xScale = 1
 	}
-	xMax := int(1)<<x.cfg.InputBits - 1
-	xInt := make([]int, x.usedRows)
+
+	s := x.getScratch()
+	defer x.scratch.Put(s)
+
+	// Quantize and shift-encode the input.
+	xMax := int32(1)<<x.cfg.InputBits - 1
+	var xSumInt int64
 	for i, v := range input {
 		x01 := (v/xScale + 1) / 2
-		xInt[i] = int(math.Round(x01 * float64(xMax)))
+		xi := int32(math.Round(x01 * float64(xMax)))
+		s.xInt[i] = xi
+		xSumInt += int64(xi)
 	}
 
-	// ADC transfer function for one cycle+slice: the largest possible
-	// column sum is usedRows * cellMax; the ADC quantizes [0, maxSum] into
-	// 2^ADCBits levels.
-	cellMax := float64(int(1)<<x.cfg.CellBits - 1)
-	maxSum := float64(x.usedRows) * cellMax
-	adcLevels := float64(int(1)<<x.cfg.ADCBits - 1)
-	adcStep := maxSum / adcLevels
-	if adcStep == 0 {
-		adcStep = 1
-	}
-
-	// acc[c] accumulates shift-added partial sums across input bits and
-	// weight slices, in integer weight x integer input units.
-	acc := make([]float64, x.usedCols)
 	if x.cfg.Functional {
-		// Exact integer accumulation: equivalent to the bit-serial loop
-		// with ideal converters.
-		for c := 0; c < x.usedCols; c++ {
-			var sum int64
-			for r := 0; r < x.usedRows; r++ {
-				var wInt int64
-				for s := x.cfg.slices() - 1; s >= 0; s-- {
-					wInt = wInt<<x.cfg.CellBits | int64(x.sliceLevels[s][r*x.cfg.Cols+c])
-				}
-				sum += wInt * int64(xInt[r])
-			}
-			acc[c] = float64(sum)
-		}
-		return x.finishMVM(acc, xInt, xMax, xScale)
+		x.functionalKernel(s)
+	} else {
+		x.bitSerialKernel(s, ns)
 	}
+
+	// Remove the shift-encoding offsets and restore the real-valued scale:
+	// y = wScale*xScale * (4*acc/(Wmax*Xmax) - 2*colSum/Wmax - 2*xSum/Xmax + n).
+	wMax := float64(int(1)<<x.cfg.WeightBits - 1)
+	fxMax := float64(xMax)
+	n := float64(x.usedRows)
+	for c := range dst {
+		t := 4*s.acc[c]/(wMax*fxMax) -
+			2*float64(x.colSumInt[c])/wMax -
+			2*float64(xSumInt)/fxMax + n
+		dst[c] = x.wScale * xScale * t
+	}
+	return x.mvmCost(), nil
+}
+
+// getScratch returns a scratch sized for the programmed shape, with acc
+// zeroed. Buffers grow once and are reused via the pool thereafter.
+func (x *Crossbar) getScratch() *mvmScratch {
+	s, _ := x.scratch.Get().(*mvmScratch)
+	if s == nil {
+		s = &mvmScratch{}
+	}
+	if cap(s.xInt) < x.usedRows {
+		s.xInt = make([]int32, x.usedRows)
+	}
+	s.xInt = s.xInt[:x.usedRows]
+	if cap(s.acc) < x.usedCols {
+		s.acc = make([]float64, x.usedCols)
+	}
+	s.acc = s.acc[:x.usedCols]
+	for i := range s.acc {
+		s.acc[i] = 0
+	}
+	if cap(s.activeStart) < x.cfg.InputBits+1 {
+		s.activeStart = make([]int32, x.cfg.InputBits+1)
+	}
+	s.activeStart = s.activeStart[:x.cfg.InputBits+1]
+	if cap(s.active) < x.cfg.InputBits*x.usedRows {
+		s.active = make([]int32, 0, x.cfg.InputBits*x.usedRows)
+	}
+	s.active = s.active[:0]
+	return s
+}
+
+// functionalKernel computes exact integer accumulation: equivalent to the
+// bit-serial loop with ideal converters. The column-major layout makes
+// every slice's row reduction a contiguous scan.
+func (x *Crossbar) functionalKernel(s *mvmScratch) {
+	rows := x.cfg.Rows
+	for c := 0; c < x.usedCols; c++ {
+		base := c * rows
+		var sum int64
+		for si := x.numSlices - 1; si >= 0; si-- {
+			col := x.sliceT[si][base : base+x.usedRows]
+			var part int64
+			for r, lv := range col {
+				part += int64(lv) * int64(s.xInt[r])
+			}
+			sum = sum<<uint(x.cfg.CellBits) + part
+		}
+		s.acc[c] = float64(sum)
+	}
+}
+
+// bitSerialKernel walks the honest analog pipeline: one array cycle per
+// input bit, one ADC conversion per (cycle, slice, column). Per-bit
+// active-row lists skip rows whose input bit is clear, and the column-major
+// layout keeps each reduction contiguous.
+func (x *Crossbar) bitSerialKernel(s *mvmScratch, ns noise.Source) {
+	// Active-row index lists, built once per MVM.
 	for b := 0; b < x.cfg.InputBits; b++ {
-		bitMask := 1 << b
-		for s := 0; s < x.cfg.slices(); s++ {
-			sl := x.sliceLevels[s]
-			scale := math.Pow(2, float64(b+s*x.cfg.CellBits))
+		s.activeStart[b] = int32(len(s.active))
+		mask := int32(1) << uint(b)
+		for r := 0; r < x.usedRows; r++ {
+			if s.xInt[r]&mask != 0 {
+				s.active = append(s.active, int32(r))
+			}
+		}
+	}
+	s.activeStart[x.cfg.InputBits] = int32(len(s.active))
+
+	if x.packedT != nil {
+		x.bitSerialPacked(s, ns)
+		return
+	}
+
+	rows := x.cfg.Rows
+	sigma := x.cfg.ReadNoise
+	for b := 0; b < x.cfg.InputBits; b++ {
+		rowsB := s.active[s.activeStart[b]:s.activeStart[b+1]]
+		for si := 0; si < x.numSlices; si++ {
+			sl := x.sliceT[si]
+			scale := x.scaleTab[b+si*x.cfg.CellBits]
+			// Noise draws are position-keyed: (b, si, c) -> one counter.
+			nsBase := (uint64(b)*uint64(x.numSlices) + uint64(si)) * uint64(x.usedCols)
 			for c := 0; c < x.usedCols; c++ {
-				var colSum float64
-				for r := 0; r < x.usedRows; r++ {
-					if xInt[r]&bitMask != 0 {
-						colSum += float64(sl[r*x.cfg.Cols+c])
-					}
+				col := sl[c*rows : c*rows+x.usedRows]
+				var sum int64
+				for _, r := range rowsB {
+					sum += int64(col[r])
 				}
-				if x.cfg.ReadNoise > 0 {
+				colSum := float64(sum)
+				if sigma > 0 {
 					// Multiplicative cycle-to-cycle read noise on the
 					// analog partial, matching the device model: each
 					// read deviates by a relative Gaussian factor.
-					colSum *= 1 + rng.NormFloat64()*x.cfg.ReadNoise
+					colSum *= 1 + ns.Norm(nsBase+uint64(c))*sigma
 					if colSum < 0 {
 						colSum = 0
 					}
 				}
 				// ADC: clip then quantize.
-				if colSum > maxSum {
-					colSum = maxSum
+				if colSum > x.adcMaxSum {
+					colSum = x.adcMaxSum
 				}
-				digitized := math.Round(colSum/adcStep) * adcStep
-				acc[c] += digitized * scale
+				s.acc[c] += math.Round(colSum/x.adcStep) * x.adcStep * scale
 			}
 		}
 	}
-
-	return x.finishMVM(acc, xInt, xMax, xScale)
 }
 
-// finishMVM removes the shift-encoding offsets and restores the real-valued
-// scale: y = wScale*xScale * (4*acc/(Wmax*Xmax) - 2*colSum/Wmax -
-// 2*xSum/Xmax + n).
-func (x *Crossbar) finishMVM(acc []float64, xInt []int, xMax int, xScale float64) ([]float64, energy.Cost, error) {
-	var xSumInt int64
-	for _, v := range xInt {
-		xSumInt += int64(v)
+// bitSerialPacked is the lane-packed variant of the bit-serial kernel,
+// taken whenever Program could build packedT. One gather per active cell
+// accumulates all slice sums at once in 16-bit lanes (exact — Program
+// guarantees no lane can overflow); the ADC transfer, noise draw indexing,
+// and per-column (bit, slice) accumulation order are identical to the
+// slice-at-a-time path, so the two kernels are bit-identical.
+func (x *Crossbar) bitSerialPacked(s *mvmScratch, ns noise.Source) {
+	rows := x.cfg.Rows
+	sigma := x.cfg.ReadNoise
+	for b := 0; b < x.cfg.InputBits; b++ {
+		rowsB := s.active[s.activeStart[b]:s.activeStart[b+1]]
+		nsBit := uint64(b) * uint64(x.numSlices) * uint64(x.usedCols)
+		for c := 0; c < x.usedCols; c++ {
+			col := x.packedT[c*rows : c*rows+x.usedRows]
+			var packed uint64
+			for _, r := range rowsB {
+				packed += col[r]
+			}
+			for si := 0; si < x.numSlices; si++ {
+				colSum := float64((packed >> uint(16*si)) & 0xFFFF)
+				if sigma > 0 {
+					// Same position-keyed draw as the generic path:
+					// index (b*slices+si)*usedCols + c.
+					colSum *= 1 + ns.Norm(nsBit+uint64(si)*uint64(x.usedCols)+uint64(c))*sigma
+					if colSum < 0 {
+						colSum = 0
+					}
+				}
+				// ADC: clip then quantize.
+				if colSum > x.adcMaxSum {
+					colSum = x.adcMaxSum
+				}
+				s.acc[c] += math.Round(colSum/x.adcStep) * x.adcStep * x.scaleTab[b+si*x.cfg.CellBits]
+			}
+		}
 	}
-	wMax := float64(int(1)<<x.cfg.WeightBits - 1)
-	out := make([]float64, x.usedCols)
-	n := float64(x.usedRows)
-	for c := range out {
-		t := 4*acc[c]/(wMax*float64(xMax)) -
-			2*float64(x.colSumInt[c])/wMax -
-			2*float64(xSumInt)/float64(xMax) + n
-		out[c] = x.wScale * xScale * t
-	}
-	return out, x.mvmCost(), nil
 }
 
 // mvmCost returns the cost of one full MVM: InputBits array cycles (slices
@@ -342,7 +566,7 @@ func (x *Crossbar) finishMVM(acc []float64, xInt []int, xMax int, xScale float64
 // traffic.
 func (x *Crossbar) mvmCost() energy.Cost {
 	cycles := int64(x.cfg.InputBits)
-	slices := float64(x.cfg.slices())
+	slices := float64(x.numSlices)
 	rows := float64(x.usedRows)
 	cols := float64(x.usedCols)
 

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/noise"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -71,7 +72,7 @@ func TestCrossbarMVMMatchesIdeal(t *testing.T) {
 	if _, err := xb.Program(w); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := xb.MVM(input, nil)
+	got, _, err := xb.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestCrossbarMVMBeforeProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := xb.MVM([]float64{1}, nil); err == nil {
+	if _, _, err := xb.MVM([]float64{1}, NoNoise); err == nil {
 		t.Error("MVM before Program should fail")
 	}
 }
@@ -129,15 +130,18 @@ func TestCrossbarInputErrors(t *testing.T) {
 	if _, err := xb.Program([][]float64{{1, 0}, {0, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := xb.MVM([]float64{1}, nil); err == nil {
+	if _, _, err := xb.MVM([]float64{1}, NoNoise); err == nil {
 		t.Error("wrong input length should fail")
 	}
-	if _, _, err := xb.MVM([]float64{1, math.Inf(1)}, nil); err == nil {
-		t.Error("non-finite input should fail")
+	if _, _, err := xb.MVM([]float64{1, math.Inf(1)}, NoNoise); err == nil {
+		t.Error("Inf input should fail")
+	}
+	if _, _, err := xb.MVM([]float64{math.NaN(), 1}, NoNoise); err == nil {
+		t.Error("NaN input should fail")
 	}
 }
 
-func TestCrossbarNoiseRequiresRNG(t *testing.T) {
+func TestCrossbarNoiseRequiresSource(t *testing.T) {
 	cfg := smallConfig()
 	cfg.ReadNoise = 0.01
 	xb, err := New(cfg)
@@ -147,11 +151,11 @@ func TestCrossbarNoiseRequiresRNG(t *testing.T) {
 	if _, err := xb.Program([][]float64{{1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := xb.MVM([]float64{1}, nil); err == nil {
-		t.Error("noisy MVM without rng should fail")
+	if _, _, err := xb.MVM([]float64{1}, NoNoise); err == nil {
+		t.Error("noisy MVM without a noise source should fail")
 	}
-	if _, _, err := xb.MVM([]float64{1}, rand.New(rand.NewSource(1))); err != nil {
-		t.Errorf("noisy MVM with rng failed: %v", err)
+	if _, _, err := xb.MVM([]float64{1}, noise.NewSource(1)); err != nil {
+		t.Errorf("noisy MVM with a source failed: %v", err)
 	}
 }
 
@@ -163,7 +167,7 @@ func TestCrossbarZeroMatrix(t *testing.T) {
 	if _, err := xb.Program([][]float64{{0, 0}, {0, 0}}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := xb.MVM([]float64{1, 1}, nil)
+	got, _, err := xb.MVM([]float64{1, 1}, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +188,7 @@ func TestCrossbarWriteAsymmetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rcost, err := xb.MVM([]float64{1, 1}, nil)
+	_, rcost, err := xb.MVM([]float64{1, 1}, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +244,7 @@ func TestCrossbarADCBitsAblation(t *testing.T) {
 		if _, err := xb.Program(w); err != nil {
 			panic(err)
 		}
-		got, _, err := xb.MVM(input, nil)
+		got, _, err := xb.MVM(input, NoNoise)
 		if err != nil {
 			panic(err)
 		}
@@ -271,7 +275,7 @@ func TestCrossbarEnergyScalesWithADCBits(t *testing.T) {
 		if _, err := xb.Program([][]float64{{1, 0}, {0, 1}}); err != nil {
 			panic(err)
 		}
-		_, c, err := xb.MVM([]float64{1, 1}, nil)
+		_, c, err := xb.MVM([]float64{1, 1}, NoNoise)
 		if err != nil {
 			panic(err)
 		}
@@ -316,7 +320,7 @@ func TestCrossbarAccuracyProperty(t *testing.T) {
 		if _, err := xb.Program(tc.w); err != nil {
 			return false
 		}
-		got, _, err := xb.MVM(tc.input, nil)
+		got, _, err := xb.MVM(tc.input, NoNoise)
 		if err != nil {
 			return false
 		}
@@ -371,7 +375,7 @@ func TestFunctionalModeMatchesIdealClosely(t *testing.T) {
 	if _, err := xb.Program(w); err != nil {
 		t.Fatal(err)
 	}
-	got, fcost, err := xb.MVM(input, nil)
+	got, fcost, err := xb.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +399,7 @@ func TestFunctionalModeMatchesIdealClosely(t *testing.T) {
 	if _, err := xb2.Program(w); err != nil {
 		t.Fatal(err)
 	}
-	_, bcost, err := xb2.MVM(input, nil)
+	_, bcost, err := xb2.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +435,7 @@ func TestFunctionalModeAtLeastAsAccurate(t *testing.T) {
 		if _, err := xb.Program(w); err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := xb.MVM(input, nil)
+		got, _, err := xb.MVM(input, NoNoise)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,311 @@
+package crossbar
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cimrev/internal/noise"
+)
+
+// naiveMVM is the pre-optimization reference kernel, kept as the oracle for
+// the cache-aware rewrite: row-major cell walk, per-cell input-bit test,
+// math.Pow shift-add scales, float64 column sums — exactly the arithmetic
+// the original implementation performed, with the counter-based noise
+// source substituted in (position-keyed draws make loop order irrelevant,
+// so the oracle and the kernel consume identical noise). Any divergence
+// between this and MVM is a kernel bug, not a tolerance issue: outputs
+// must match bit for bit.
+func naiveMVM(cfg Config, w [][]float64, input []float64, ns noise.Source) []float64 {
+	usedRows, usedCols := len(w), len(w[0])
+	slices := cfg.WeightBits / cfg.CellBits
+
+	// Quantize weights (shift encoding), as Program does.
+	wScale := 0.0
+	for _, row := range w {
+		for _, v := range row {
+			if a := math.Abs(v); a > wScale {
+				wScale = a
+			}
+		}
+	}
+	if wScale == 0 {
+		wScale = 1
+	}
+	wMax := float64(int(1)<<cfg.WeightBits - 1)
+	cellMask := 1<<cfg.CellBits - 1
+	level := make([][][]int, slices) // level[s][r][c]
+	for s := range level {
+		level[s] = make([][]int, usedRows)
+		for r := range level[s] {
+			level[s][r] = make([]int, usedCols)
+		}
+	}
+	colSum := make([]float64, usedCols)
+	for r := 0; r < usedRows; r++ {
+		for c := 0; c < usedCols; c++ {
+			w01 := (w[r][c]/wScale + 1) / 2
+			wInt := int(math.Round(w01 * wMax))
+			colSum[c] += float64(wInt)
+			for s := 0; s < slices; s++ {
+				level[s][r][c] = (wInt >> uint(s*cfg.CellBits)) & cellMask
+			}
+		}
+	}
+
+	// Quantize input.
+	xScale := 0.0
+	for _, v := range input {
+		if a := math.Abs(v); a > xScale {
+			xScale = a
+		}
+	}
+	if xScale == 0 {
+		xScale = 1
+	}
+	xMax := float64(int(1)<<cfg.InputBits - 1)
+	xInt := make([]int, usedRows)
+	xSum := 0.0
+	for i, v := range input {
+		x01 := (v/xScale + 1) / 2
+		xInt[i] = int(math.Round(x01 * xMax))
+		xSum += float64(xInt[i])
+	}
+
+	cellMax := float64(cellMask)
+	adcMaxSum := float64(usedRows) * cellMax
+	adcStep := adcMaxSum / float64(int(1)<<cfg.ADCBits-1)
+
+	acc := make([]float64, usedCols)
+	if cfg.Functional {
+		for c := 0; c < usedCols; c++ {
+			var sum int64
+			for r := 0; r < usedRows; r++ {
+				for s := 0; s < slices; s++ {
+					sum += int64(level[s][r][c]) * int64(xInt[r]) << uint(s*cfg.CellBits)
+				}
+			}
+			acc[c] = float64(sum)
+		}
+	} else {
+		for b := 0; b < cfg.InputBits; b++ {
+			bitMask := 1 << uint(b)
+			for s := 0; s < slices; s++ {
+				scale := math.Pow(2, float64(b+s*cfg.CellBits))
+				for c := 0; c < usedCols; c++ {
+					sum := 0.0
+					for r := 0; r < usedRows; r++ {
+						if xInt[r]&bitMask != 0 {
+							sum += float64(level[s][r][c])
+						}
+					}
+					if cfg.ReadNoise > 0 {
+						idx := (uint64(b)*uint64(slices) + uint64(s)) * uint64(usedCols)
+						sum *= 1 + ns.Norm(idx+uint64(c))*cfg.ReadNoise
+						if sum < 0 {
+							sum = 0
+						}
+					}
+					if sum > adcMaxSum {
+						sum = adcMaxSum
+					}
+					digit := math.Round(sum/adcStep) * adcStep
+					acc[c] += digit * scale
+				}
+			}
+		}
+	}
+
+	out := make([]float64, usedCols)
+	n := float64(usedRows)
+	for c := 0; c < usedCols; c++ {
+		t := 4*acc[c]/(wMax*xMax) - 2*colSum[c]/wMax - 2*xSum/xMax + n
+		out[c] = wScale * xScale * t
+	}
+	return out
+}
+
+// TestKernelMatchesNaiveOracle asserts the optimized kernel (transposed
+// layout, active-row lists, scale table, integer sums, pooled scratch) is
+// bit-identical to the naive reference across functional/bit-serial modes,
+// cell widths, noise on/off, and odd tile-remainder shapes.
+func TestKernelMatchesNaiveOracle(t *testing.T) {
+	shapes := []struct{ m, n int }{
+		{16, 16}, // full array
+		{13, 7},  // odd remainders
+		{1, 16},  // single row
+		{16, 1},  // single column
+		{5, 11},
+	}
+	for _, functional := range []bool{false, true} {
+		for _, cellBits := range []int{1, 2, 4} {
+			for _, sigma := range []float64{0, 0.03} {
+				if functional && sigma > 0 {
+					continue // functional mode has no noise path
+				}
+				for _, sh := range shapes {
+					cfg := DefaultConfig()
+					cfg.Rows, cfg.Cols = 16, 16
+					cfg.CellBits = cellBits
+					cfg.Functional = functional
+					cfg.ReadNoise = sigma
+
+					rng := rand.New(rand.NewSource(int64(sh.m*100 + sh.n + cellBits)))
+					w := randomMatrix(rng, sh.m, sh.n)
+					in := randomVector(rng, sh.m)
+
+					xb, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := xb.Program(w); err != nil {
+						t.Fatal(err)
+					}
+					ns := NoNoise
+					if sigma > 0 {
+						ns = noise.NewSource(99)
+					}
+					got, _, err := xb.MVM(in, ns)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := naiveMVM(cfg, w, in, ns)
+					for c := range want {
+						if got[c] != want[c] {
+							t.Fatalf("functional=%v cell=%d sigma=%g shape=%dx%d col %d: kernel %v != oracle %v",
+								functional, cellBits, sigma, sh.m, sh.n, c, got[c], want[c])
+						}
+					}
+					// Repeat on the same crossbar: pooled scratch must not
+					// leak state between calls.
+					again, _, err := xb.MVM(in, ns)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for c := range want {
+						if again[c] != want[c] {
+							t.Fatalf("second call diverged at col %d: %v != %v", c, again[c], want[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNoisyMVMOrderIndependence: the draw for (bit, slice, column) is a
+// pure function of position, so repeated noisy MVMs with the same source
+// are identical — there is no hidden stream state to advance.
+func TestNoisyMVMOrderIndependence(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ReadNoise = 0.05
+	xb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	if _, err := xb.Program(randomMatrix(rng, 16, 16)); err != nil {
+		t.Fatal(err)
+	}
+	in := randomVector(rng, 16)
+	ns := noise.NewSource(13)
+	first, _, err := xb.MVM(in, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		out, _, err := xb.MVM(in, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range out {
+			if out[c] != first[c] {
+				t.Fatalf("repeat %d col %d: %v != %v (noise source leaked state)", k, c, out[c], first[c])
+			}
+		}
+	}
+	// A different source must actually change the output.
+	other, _, err := xb.MVM(in, noise.NewSource(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for c := range other {
+		if other[c] != first[c] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different noise sources produced identical noisy outputs")
+	}
+}
+
+// TestMVMIntoZeroAlloc is the steady-state allocation contract: after the
+// first call warms the scratch pool, MVMInto must not allocate.
+func TestMVMIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items, so alloc counts are unreliable")
+	}
+	for _, functional := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Rows, cfg.Cols = 64, 64
+		cfg.Functional = functional
+		xb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		if _, err := xb.Program(randomMatrix(rng, 64, 64)); err != nil {
+			t.Fatal(err)
+		}
+		in := randomVector(rng, 64)
+		dst := make([]float64, 64)
+		if _, err := xb.MVMInto(dst, in, NoNoise); err != nil {
+			t.Fatal(err) // warm the pool
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := xb.MVMInto(dst, in, NoNoise); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("functional=%v: MVMInto allocates %g objects/op, want 0", functional, allocs)
+		}
+	}
+}
+
+// TestMVMIntoDstValidation: MVMInto must fail fast on a mis-sized dst
+// before doing any quantization work.
+func TestMVMIntoDstValidation(t *testing.T) {
+	xb, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xb.Program([][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xb.MVMInto(make([]float64, 3), []float64{1, 1}, NoNoise); err == nil {
+		t.Error("wrong dst length should fail")
+	}
+	if _, err := xb.MVMInto(nil, []float64{1, 1}, NoNoise); err == nil {
+		t.Error("nil dst should fail")
+	}
+}
+
+// TestNewRejectsZeroADCBits is the regression test for the adcStep == 0
+// fallback: ADCBits = 0 used to slip past construction and silently
+// degrade quantization in the kernel; now New rejects it outright.
+func TestNewRejectsZeroADCBits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ADCBits = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New must reject ADCBits = 0")
+	} else if !strings.Contains(err.Error(), "ADCBits") {
+		t.Errorf("error %q should name ADCBits", err)
+	}
+	if _, err := NewTile(cfg); err == nil {
+		t.Fatal("NewTile must reject ADCBits = 0")
+	}
+}

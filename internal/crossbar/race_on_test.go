@@ -1,0 +1,8 @@
+//go:build race
+
+package crossbar
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops cached items to shake out lifecycle bugs,
+// so allocation-count assertions are not meaningful there.
+const raceEnabled = true

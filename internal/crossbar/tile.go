@@ -2,9 +2,10 @@ package crossbar
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/noise"
 	"cimrev/internal/parallel"
 )
 
@@ -19,11 +20,13 @@ import (
 // blocks of Program and MVM fan out across the internal/parallel worker
 // pool, with per-block results merged in fixed (row, column) order so cost
 // totals and outputs are bit-identical to serial execution at any pool
-// width. When analog read noise is enabled the blocks consume a shared
-// *rand.Rand, so MVM forces itself sequential to preserve the historical
-// noise draw order; like Crossbar, a Tile's mutating methods are not safe
-// for concurrent use from multiple goroutines, while noise-free MVM on a
-// programmed tile is read-only and may be called concurrently.
+// width. Analog read noise no longer forces sequential evaluation: each
+// block derives its own counter-based noise stream (ns.Derive(blockIndex)),
+// so the draw applied to any (block, bit, slice, column) is a pure function
+// of position, not of goroutine schedule (see internal/noise and
+// docs/PARALLELISM.md). A Tile's mutating methods are not safe for
+// concurrent use from multiple goroutines, while MVM on a programmed tile —
+// noisy or not — is read-only and may be called concurrently.
 type Tile struct {
 	cfg        Config
 	blocks     [][]*Crossbar // blocks[br][bc]
@@ -32,6 +35,17 @@ type Tile struct {
 	// pastWrites preserves wear from arrays discarded by a reshaping
 	// reprogram, so lifetime write counts survive reconfiguration.
 	pastWrites int64
+	// scratch pools per-MVM block outputs and costs so steady-state tile
+	// MVMs stop allocating a slab per call. Pooled (not a plain field)
+	// because a programmed tile may serve concurrent MVMs.
+	scratch sync.Pool
+}
+
+// tileScratch is the reusable per-MVM workspace for a tile: one output
+// slab (stride cfg.Cols per block) and one cost slot per block.
+type tileScratch struct {
+	outs  []float64
+	costs []energy.Cost
 }
 
 // NewTile returns an empty tile that will allocate crossbars on Program.
@@ -154,9 +168,12 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 	return cost, nil
 }
 
-// MVM computes y = W · input across the block grid. Blocks run in parallel;
-// partial results for each column-block are merged with digital adds.
-func (t *Tile) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+// MVM computes y = W · input across the block grid. Blocks run in parallel
+// regardless of noise: block b draws from the derived stream ns.Derive(b),
+// so noisy outputs are bit-identical at any worker-pool width. Partial
+// results for each column-block are merged with digital adds in fixed
+// (br, bc) order.
+func (t *Tile) MVM(input []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	if !t.programmed {
 		return nil, energy.Zero, fmt.Errorf("crossbar: tile MVM before Program")
 	}
@@ -164,56 +181,80 @@ func (t *Tile) MVM(input []float64, rng *rand.Rand) ([]float64, energy.Cost, err
 		return nil, energy.Zero, fmt.Errorf("crossbar: input length %d != rows %d", len(input), t.rows)
 	}
 
-	// Evaluate the independent blocks, fanning out across the worker pool
-	// when the computation is noise-free. With analog read noise the blocks
-	// share one *rand.Rand, so evaluation stays sequential (in (br, bc)
-	// order) to preserve the historical draw sequence. Partial results are
-	// stored per block and merged below in fixed order, so outputs and cost
-	// totals are bit-identical to serial execution at any pool width.
 	brows, bcols := t.BlockGrid()
-	ys := make([][]float64, brows*bcols)
-	costs := make([]energy.Cost, brows*bcols)
-	evalBlock := func(b int) error {
+	nb := brows * bcols
+	s := t.getScratch(nb)
+	defer t.scratch.Put(s)
+
+	// Evaluate the independent blocks, fanning out across the worker pool.
+	// Each block writes its partial result into a private stripe of the
+	// pooled slab via MVMInto (no per-block allocation), and noisy blocks
+	// consume their own derived stream, so no state is shared between
+	// goroutines. The merge below runs in fixed order, so outputs and cost
+	// totals are bit-identical to serial execution at any pool width.
+	stride := t.cfg.Cols
+	err := parallel.ForErr(nb, func(b int) error {
 		br, bc := b/bcols, b%bcols
 		r0 := br * t.cfg.Rows
 		r1 := min(r0+t.cfg.Rows, t.rows)
-		y, c, err := t.blocks[br][bc].MVM(input[r0:r1], rng)
+		c0 := bc * t.cfg.Cols
+		c1 := min(c0+t.cfg.Cols, t.cols)
+		bns := NoNoise
+		if ns.Valid() {
+			bns = ns.Derive(uint64(b))
+		}
+		dst := s.outs[b*stride : b*stride+(c1-c0)]
+		c, err := t.blocks[br][bc].MVMInto(dst, input[r0:r1], bns)
 		if err != nil {
 			return fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
 		}
-		ys[b], costs[b] = y, c
+		s.costs[b] = c
 		return nil
-	}
-	if t.cfg.ReadNoise > 0 {
-		for b := 0; b < brows*bcols; b++ {
-			if err := evalBlock(b); err != nil {
-				return nil, energy.Zero, err
-			}
-		}
-	} else if err := parallel.ForErr(brows*bcols, evalBlock); err != nil {
+	})
+	if err != nil {
 		return nil, energy.Zero, err
 	}
 
 	// Deterministic reduction: digital adds in (br, bc) order.
 	out := make([]float64, t.cols)
 	cost := energy.Zero
-	for b, y := range ys {
-		cost = cost.Par(costs[b])
+	for b := 0; b < nb; b++ {
+		cost = cost.Par(s.costs[b])
 		c0 := (b % bcols) * t.cfg.Cols
-		for i, v := range y {
+		c1 := min(c0+t.cfg.Cols, t.cols)
+		stripe := s.outs[b*stride : b*stride+(c1-c0)]
+		for i, v := range stripe {
 			out[c0+i] += v
 		}
 	}
 	// Digital merge: one add per partial element beyond the first block row.
-	br, _ := t.BlockGrid()
-	if br > 1 {
-		merges := int64(br-1) * int64(t.cols)
+	if brows > 1 {
+		merges := int64(brows-1) * int64(t.cols)
 		cost = cost.Seq(energy.Cost{
 			LatencyPS: energy.EDRAMAccessLatencyPS,
 			EnergyPJ:  float64(merges) * energy.ShiftAddEnergyPJ,
 		})
 	}
 	return out, cost, nil
+}
+
+// getScratch pops (or grows) a pooled workspace sized for nb blocks.
+func (t *Tile) getScratch(nb int) *tileScratch {
+	s, _ := t.scratch.Get().(*tileScratch)
+	if s == nil {
+		s = &tileScratch{}
+	}
+	if need := nb * t.cfg.Cols; cap(s.outs) < need {
+		s.outs = make([]float64, need)
+	} else {
+		s.outs = s.outs[:need]
+	}
+	if cap(s.costs) < nb {
+		s.costs = make([]energy.Cost, nb)
+	} else {
+		s.costs = s.costs[:nb]
+	}
+	return s
 }
 
 func min(a, b int) int {

@@ -42,7 +42,7 @@ func TestTileSingleBlockMatchesCrossbar(t *testing.T) {
 		t.Fatalf("block grid = %dx%d, want 1x1", br, bc)
 	}
 
-	got, _, err := tile.MVM(input, nil)
+	got, _, err := tile.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestTileSingleBlockMatchesCrossbar(t *testing.T) {
 	if _, err := xb.Program(w); err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := xb.MVM(input, nil)
+	want, _, err := xb.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestTileMultiBlockAccuracy(t *testing.T) {
 		t.Fatalf("CrossbarCount = %d, want 9", tile.CrossbarCount())
 	}
 
-	got, _, err := tile.MVM(input, nil)
+	got, _, err := tile.MVM(input, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,14 +133,14 @@ func TestTileErrors(t *testing.T) {
 	if _, err := tile.Program([][]float64{{1, 2}, {3}}); err == nil {
 		t.Error("ragged matrix should fail")
 	}
-	if _, _, err := tile.MVM([]float64{1}, nil); err == nil {
+	if _, _, err := tile.MVM([]float64{1}, NoNoise); err == nil {
 		t.Error("MVM before Program should fail")
 	}
 	rng := rand.New(rand.NewSource(1))
 	if _, err := tile.Program(randomMatrix(rng, 4, 4)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := tile.MVM([]float64{1, 2}, nil); err == nil {
+	if _, _, err := tile.MVM([]float64{1, 2}, NoNoise); err == nil {
 		t.Error("wrong input length should fail")
 	}
 }
@@ -159,7 +159,7 @@ func TestTileParallelBlockLatency(t *testing.T) {
 		if _, err := tile.Program(randomMatrix(rng, rows, 16)); err != nil {
 			t.Fatal(err)
 		}
-		_, c, err := tile.MVM(randomVector(rng, rows), nil)
+		_, c, err := tile.MVM(randomVector(rng, rows), NoNoise)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +184,7 @@ func TestTileEnergyScalesWithBlocks(t *testing.T) {
 		if _, err := tile.Program(randomMatrix(rng, rows, 16)); err != nil {
 			t.Fatal(err)
 		}
-		_, c, err := tile.MVM(randomVector(rng, rows), nil)
+		_, c, err := tile.MVM(randomVector(rng, rows), NoNoise)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,7 +266,7 @@ func TestTileReprogramKeepsResults(t *testing.T) {
 	if _, err := tile.Program(w2); err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := tile.MVM([]float64{1, 0}, nil)
+	out, _, err := tile.MVM([]float64{1, 0}, NoNoise)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,8 +85,9 @@ func (c *Cluster) Load(net *nn.Network) (energy.Cost, error) {
 // board's share serially; boards run in parallel — both in simulated time
 // and in wall-clock time: each board is handled by one worker goroutine
 // from the shared pool, which walks that board's share in index order
-// (preserving each engine's RNG draw sequence) and accumulates its serial
-// cost. Inputs and outputs for boards other than 0 cross the photonic
+// (each engine numbers its inferences for counter-based noise derivation)
+// and accumulates its serial cost. Inputs and outputs for boards other
+// than 0 cross the photonic
 // link. Per-board costs fold in board order, so the total is bit-identical
 // to serial execution at any pool width.
 func (c *Cluster) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {

@@ -16,20 +16,21 @@
 // worker pool, InferBatch fans independent batch items, and Cluster fans
 // independent boards — all with deterministic index-ordered reductions, so
 // outputs and energy/latency totals are bit-identical to serial execution
-// at any pool width (see docs/PARALLELISM.md). Batch items share the
-// engine's noise RNG, so InferBatch forces itself sequential whenever
-// analog read noise is enabled; per-engine counters use atomics and are
-// safe to read concurrently.
+// at any pool width (see docs/PARALLELISM.md). Analog read noise comes
+// from a counter-based internal/noise tree keyed by (seed, inference
+// sequence, stage, patch, block, position), so noisy batches fan out
+// exactly like noise-free ones and still reproduce bit-identically;
+// per-engine counters use atomics and are safe to read concurrently.
 package dpe
 
 import (
 	"fmt"
-	"math/rand"
 	"sync/atomic"
 
 	"cimrev/internal/crossbar"
 	"cimrev/internal/energy"
 	"cimrev/internal/nn"
+	"cimrev/internal/noise"
 	"cimrev/internal/parallel"
 )
 
@@ -74,7 +75,7 @@ type stage struct {
 // Engine is a programmed Dot Product Engine.
 type Engine struct {
 	cfg    Config
-	rng    *rand.Rand
+	src    noise.Source
 	net    *nn.Network
 	stages []stage
 
@@ -83,6 +84,12 @@ type Engine struct {
 	// InferBatch retires batch items from multiple pool workers, and
 	// Inferences() may be read while a batch is in flight.
 	inferences atomic.Int64
+	// seq numbers inferences for noise derivation: inference k (counted
+	// since Load) draws from src.Derive(k). Infer claims one number;
+	// InferBatch claims a contiguous run and assigns item i the number
+	// seq0+i, so a batch's noise is identical to the same inputs run
+	// through Infer one at a time — and identical at any pool width.
+	seq atomic.Uint64
 }
 
 // New returns an empty engine.
@@ -90,7 +97,7 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Engine{cfg: cfg, src: noise.NewSource(cfg.Seed)}, nil
 }
 
 // Network returns the loaded network (nil before Load).
@@ -185,6 +192,7 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 	e.stages = stages
 	e.programCost = total
 	e.inferences.Store(0)
+	e.seq.Store(0)
 	return total, nil
 }
 
@@ -253,7 +261,10 @@ func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
 	return cost, nil
 }
 
-// Infer runs one inference, returning the output vector and its cost.
+// Infer runs one inference, returning the output vector and its cost. The
+// inference claims the next noise sequence number, so noisy results depend
+// only on (seed, inference index since Load) — not on batching or pool
+// width.
 func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: Infer before Load")
@@ -261,10 +272,11 @@ func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 	if len(in) != e.net.InSize() {
 		return nil, energy.Zero, fmt.Errorf("dpe: input length %d != %d", len(in), e.net.InSize())
 	}
+	perInf := e.src.Derive(e.seq.Add(1) - 1)
 	v := in
 	total := energy.Zero
 	for i := range e.stages {
-		out, cost, err := e.runStage(&e.stages[i], v, e.rng)
+		out, cost, err := e.runStage(&e.stages[i], v, perInf.Derive(uint64(i)))
 		if err != nil {
 			return nil, energy.Zero, fmt.Errorf("dpe: stage %d (%s): %w", i, e.stages[i].layer.Name(), err)
 		}
@@ -275,13 +287,14 @@ func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 	return v, total, nil
 }
 
-// runStage executes one stage. rng supplies analog read noise; batch items
-// executing concurrently pass nil (noise disabled) so no RNG state is
-// shared across pool workers.
-func (e *Engine) runStage(s *stage, in []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+// runStage executes one stage. ns is the stage's derived noise stream
+// (src.Derive(inference).Derive(stageIndex)); conv stages derive one child
+// per im2col patch, and tiles derive one grandchild per block, so every
+// analog draw in the engine has a unique position-keyed counter.
+func (e *Engine) runStage(s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	switch {
 	case s.dense != nil:
-		out, cost, err := s.tile.MVM(in, rng)
+		out, cost, err := s.tile.MVM(in, ns)
 		if err != nil {
 			return nil, energy.Zero, err
 		}
@@ -292,7 +305,7 @@ func (e *Engine) runStage(s *stage, in []float64, rng *rand.Rand) ([]float64, en
 		cost = cost.Seq(energy.Cost{EnergyPJ: float64(len(out)) * energy.ShiftAddEnergyPJ})
 		return out, cost, nil
 	case s.conv != nil:
-		return e.runConv(s, in, rng)
+		return e.runConv(s, in, ns)
 	default:
 		return e.runDigital(s.layer, in)
 	}
@@ -300,8 +313,9 @@ func (e *Engine) runStage(s *stage, in []float64, rng *rand.Rand) ([]float64, en
 
 // runConv streams im2col patches through the filter crossbar. Replicas
 // process patches concurrently: latency covers ceil(patches/replicas)
-// waves, energy covers every patch.
-func (e *Engine) runConv(s *stage, in []float64, rng *rand.Rand) ([]float64, energy.Cost, error) {
+// waves, energy covers every patch. Patch (oy, ox) draws noise from
+// ns.Derive(oy*outW+ox), independent of streaming order.
+func (e *Engine) runConv(s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	l := s.conv
 	oh, ow := l.OutH(), l.OutW()
 	out := make([]float64, oh*ow*l.F)
@@ -313,7 +327,7 @@ func (e *Engine) runConv(s *stage, in []float64, rng *rand.Rand) ([]float64, ene
 			if err != nil {
 				return nil, energy.Zero, err
 			}
-			y, cost, err := s.tile.MVM(patch, rng)
+			y, cost, err := s.tile.MVM(patch, ns.Derive(uint64(oy*ow+ox)))
 			if err != nil {
 				return nil, energy.Zero, err
 			}
@@ -354,10 +368,11 @@ func (e *Engine) runDigital(layer nn.Layer, in []float64) ([]float64, energy.Cos
 //
 // The simulator fans independent batch items across the worker pool:
 // programmed tiles are read-only during MVM, so items share them safely.
-// When analog read noise is enabled the items would share the engine's
-// RNG, so the batch runs sequentially in index order to preserve the
-// historical draw sequence. Outputs and the returned cost are
-// bit-identical at any pool width.
+// Analog read noise fans out too: the batch claims a contiguous run of
+// noise sequence numbers up front, and item i draws from the counter-based
+// stream for number seq0+i regardless of which worker runs it — so noisy
+// outputs match the same inputs run through Infer one at a time, and the
+// outputs and returned cost are bit-identical at any pool width.
 func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
@@ -371,15 +386,17 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 		}
 	}
 
+	seq0 := e.seq.Add(uint64(len(inputs))) - uint64(len(inputs))
 	outs := make([][]float64, len(inputs))
 	totals := make([]energy.Cost, len(inputs))
 	stageMaxes := make([]int64, len(inputs))
-	runItem := func(i int, rng *rand.Rand) error {
+	if err := parallel.ForErr(len(inputs), func(i int) error {
+		perInf := e.src.Derive(seq0 + uint64(i))
 		v := inputs[i]
 		var stageMax int64
 		total := energy.Zero
 		for s := range e.stages {
-			out, cost, err := e.runStage(&e.stages[s], v, rng)
+			out, cost, err := e.runStage(&e.stages[s], v, perInf.Derive(uint64(s)))
 			if err != nil {
 				return fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
 			}
@@ -392,17 +409,6 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 		outs[i], totals[i], stageMaxes[i] = v, total, stageMax
 		e.inferences.Add(1)
 		return nil
-	}
-	if e.cfg.Crossbar.ReadNoise > 0 {
-		// Noise draws come from the engine's single RNG: run items in
-		// index order so the draw sequence matches the serial simulator.
-		for i := range inputs {
-			if err := runItem(i, e.rng); err != nil {
-				return nil, energy.Zero, err
-			}
-		}
-	} else if err := parallel.ForErr(len(inputs), func(i int) error {
-		return runItem(i, nil)
 	}); err != nil {
 		return nil, energy.Zero, err
 	}

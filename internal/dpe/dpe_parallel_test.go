@@ -74,33 +74,47 @@ func TestInferBatchParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestInferBatchNoisySequentialFallback: with read noise enabled the batch
-// shares the engine RNG, so results must not depend on the pool width.
-func TestInferBatchNoisySequentialFallback(t *testing.T) {
+// noisyTestConfig is the shared configuration for the noisy equivalence
+// tests: honest bit-serial pipeline with read noise live.
+func noisyTestConfig() Config {
+	cfg := testConfig()
+	cfg.Crossbar.Functional = false
+	cfg.Crossbar.ReadNoise = 0.01
+	cfg.Seed = 5
+	return cfg
+}
+
+func noisyTestInputs(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(21))
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, dim)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return inputs
+}
+
+// TestInferBatchNoisyParallelEquivalence: with counter-based noise each
+// batch item draws from its own derived stream (keyed by inference number,
+// not by goroutine schedule), so noisy batches fan out across the pool and
+// still produce bit-identical outputs at widths 1, 4, and 16. This test
+// replaced the old sequential-fallback test when the fallback branch was
+// deleted.
+func TestInferBatchNoisyParallelEquivalence(t *testing.T) {
 	t.Cleanup(func() { parallel.SetWidth(0) })
 
 	run := func(width int) [][]float64 {
 		parallel.SetWidth(width)
-		cfg := testConfig()
-		cfg.Crossbar.Functional = false
-		cfg.Crossbar.ReadNoise = 0.01
-		cfg.Seed = 5
-		eng, err := New(cfg)
+		eng, err := New(noisyTestConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := eng.Load(mlp(t, 32, 16, 8)); err != nil {
 			t.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(21))
-		inputs := make([][]float64, 6)
-		for i := range inputs {
-			inputs[i] = make([]float64, 32)
-			for j := range inputs[i] {
-				inputs[i][j] = rng.Float64()*2 - 1
-			}
-		}
-		outs, _, err := eng.InferBatch(inputs)
+		outs, _, err := eng.InferBatch(noisyTestInputs(6, 32))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,6 +129,49 @@ func TestInferBatchNoisySequentialFallback(t *testing.T) {
 					t.Fatalf("width %d: noisy out[%d][%d] = %v != serial %v",
 						w, i, j, got[i][j], ref[i][j])
 				}
+			}
+		}
+	}
+}
+
+// TestInferBatchNoisyMatchesSerialInfer: the noise tree is keyed by
+// inference sequence number, so batch item i must be bit-identical to the
+// i-th Infer call on a freshly loaded engine — batching is purely a
+// wall-clock optimization, never a semantic one.
+func TestInferBatchNoisyMatchesSerialInfer(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+	parallel.SetWidth(8)
+
+	inputs := noisyTestInputs(6, 32)
+
+	engA, err := New(noisyTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engA.Load(mlp(t, 32, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	batchOuts, _, err := engA.InferBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engB, err := New(noisyTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engB.Load(mlp(t, 32, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		out, _, err := engB.Infer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			if out[j] != batchOuts[i][j] {
+				t.Fatalf("item %d col %d: Infer %v != InferBatch %v",
+					i, j, out[j], batchOuts[i][j])
 			}
 		}
 	}

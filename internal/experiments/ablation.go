@@ -58,8 +58,8 @@ func ADCAblation(bits []int) (*ADCResult, error) {
 	}
 
 	// Resolution points are independent — each deploys the shared trained
-	// network (read-only) through its own engine and RNG — so they fan out
-	// across the worker pool, rows collected in sweep order.
+	// network (read-only) through its own engine — so they fan out across
+	// the worker pool, rows collected in sweep order.
 	rows, err := parallel.MapErr(len(bits), func(idx int) (ADCRow, error) {
 		b := bits[idx]
 		cfg := dpe.DefaultConfig()
@@ -158,10 +158,14 @@ func NoiseAblation(sigmas []float64) (*NoiseResult, error) {
 		return nil, err
 	}
 
-	// Noise points fan out across the worker pool: each point owns its
-	// engine and therefore its noise RNG, whose draw order within the point
-	// is preserved because the point's test set runs serially. Rows are
-	// collected in sweep order, so results match serial execution exactly.
+	// Noise points fan out across the worker pool, and — because read noise
+	// is counter-based, keyed by (engine seed, inference number) — so do the
+	// inferences *within* each point: the whole test set goes through
+	// InferBatch, whose noisy outputs are bit-identical to a serial Infer
+	// loop at any pool width. Rows are collected in sweep order, so results
+	// match serial execution exactly. Before the counter-based generator
+	// this sweep was the worst case for the worker pool: every noisy point
+	// forced itself sequential to preserve RNG draw order.
 	rows, err := parallel.MapErr(len(sigmas), func(idx int) (NoiseRow, error) {
 		sigma := sigmas[idx]
 		if sigma < 0 {
@@ -177,12 +181,12 @@ func NoiseAblation(sigmas []float64) (*NoiseResult, error) {
 		if _, err := eng.Load(net); err != nil {
 			return NoiseRow{}, err
 		}
+		outs, _, err := eng.InferBatch(testIn)
+		if err != nil {
+			return NoiseRow{}, err
+		}
 		correct := 0
-		for i, in := range testIn {
-			out, _, err := eng.Infer(in)
-			if err != nil {
-				return NoiseRow{}, err
-			}
+		for i, out := range outs {
 			best := 0
 			for j := range out {
 				if out[j] > out[best] {

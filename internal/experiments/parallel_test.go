@@ -70,9 +70,11 @@ func TestScaleParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestNoiseAblationParallelEquivalence guards the subtlest case: noisy
-// engines draw from per-point RNGs, so fanning points across the pool must
-// not change any accuracy number.
+// TestNoiseAblationParallelEquivalence guards the subtlest case: the sweep
+// is noisy end-to-end, and since the counter-based generator keys every
+// draw by position (seed, inference, stage, block, column) rather than by
+// draw order, both the sweep points *and* the inferences inside each point
+// fan out across the pool without changing any accuracy number.
 func TestNoiseAblationParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -85,15 +87,17 @@ func TestNoiseAblationParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel.SetWidth(4)
-	got, err := NoiseAblation(sigmas)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range got.Rows {
-		if got.Rows[i] != ref.Rows[i] {
-			t.Fatalf("noise row %d differs: parallel %+v serial %+v",
-				i, got.Rows[i], ref.Rows[i])
+	for _, w := range []int{4, 16} {
+		parallel.SetWidth(w)
+		got, err := NoiseAblation(sigmas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Rows {
+			if got.Rows[i] != ref.Rows[i] {
+				t.Fatalf("width %d: noise row %d differs: parallel %+v serial %+v",
+					w, i, got.Rows[i], ref.Rows[i])
+			}
 		}
 	}
 }

@@ -16,11 +16,12 @@ package hybrid
 
 import (
 	"fmt"
-	"math/rand"
+	"sync/atomic"
 
 	"cimrev/internal/crossbar"
 	"cimrev/internal/dataflow"
 	"cimrev/internal/energy"
+	"cimrev/internal/noise"
 	"cimrev/internal/vonneumann"
 )
 
@@ -59,7 +60,10 @@ type AcceleratedMemory struct {
 	hier *vonneumann.Hierarchy
 	cpu  vonneumann.Machine
 	tile *crossbar.Tile
-	rng  *rand.Rand
+	// src roots the accelerator's counter-based noise tree; seq numbers
+	// offloaded GEMVs so each analog read has its own derived stream.
+	src noise.Source
+	seq atomic.Uint64
 
 	weights [][]float64
 }
@@ -79,7 +83,7 @@ func NewAcceleratedMemory(hcfg vonneumann.HierarchyConfig, xcfg crossbar.Config,
 		hier: hier,
 		cpu:  vonneumann.CPU(),
 		tile: tile,
-		rng:  rand.New(rand.NewSource(seed)),
+		src:  noise.NewSource(seed),
 	}, nil
 }
 
@@ -109,7 +113,7 @@ func (a *AcceleratedMemory) GEMVOffloaded(x []float64) ([]float64, energy.Cost, 
 	if a.weights == nil {
 		return nil, energy.Zero, fmt.Errorf("hybrid: no matrix installed")
 	}
-	y, cost, err := a.tile.MVM(x, a.rng)
+	y, cost, err := a.tile.MVM(x, a.src.Derive(a.seq.Add(1)-1))
 	if err != nil {
 		return nil, energy.Zero, err
 	}

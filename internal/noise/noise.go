@@ -1,0 +1,103 @@
+// Package noise is the simulator's counter-based analog-noise generator.
+//
+// The crossbar model perturbs every analog column sum with Gaussian read
+// noise. The original implementation drew from a shared *rand.Rand, which
+// made every noisy draw depend on the global draw *order* — so any code
+// path touching noise had to force itself sequential to stay reproducible,
+// and the worker pool sat idle exactly on the sweeps (noise ablations,
+// Section VI accuracy studies) it was built to accelerate.
+//
+// This package replaces the stream with a splitmix64-style counter
+// generator: a Source is an immutable 8-byte key, and the i-th draw is a
+// pure function of (key, i). Determinism becomes *positional* instead of
+// temporal — the noise applied to (input bit b, weight slice s, column c)
+// of a given MVM is the same no matter which goroutine computes it, or in
+// what order. That single property deletes every "noisy ⇒ sequential"
+// fallback in crossbar, dpe, and experiments (see docs/PARALLELISM.md).
+//
+// # Key derivation
+//
+// Sources form a tree. A root comes from a seed (NewSource); each level of
+// the simulation derives a child per unit of work:
+//
+//	engine   = NewSource(cfg.Seed)
+//	perMVM   = engine.Derive(mvmSequence)  // one per inference/batch item
+//	perStage = perMVM.Derive(stageIndex)   // one per network layer
+//	perBlock = perStage.Derive(blockIndex) // one per crossbar in a tile
+//	draw     = perBlock.Norm((b*slices+s)*cols + c)
+//
+// Every edge is a splitmix64 finalizer, so sibling streams are
+// statistically independent, and the whole tree is reproducible from the
+// one seed.
+//
+// The zero Source is "no source": Valid reports false, and noisy consumers
+// reject it the way they used to reject a nil *rand.Rand. NewSource and
+// Derive never return the zero Source.
+package noise
+
+import "math"
+
+// golden is the splitmix64 increment (2^64 / phi).
+const golden = 0x9e3779b97f4a7c15
+
+// Source is an immutable counter-based noise stream. The zero value is the
+// "no noise" source (Valid() == false). Source is a tiny value type: copy
+// it freely, share it across goroutines, derive children without
+// allocating.
+type Source struct {
+	key uint64
+}
+
+// mix is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nonzero remaps the (single) zero key so valid sources never collide with
+// the zero Source sentinel.
+func nonzero(k uint64) uint64 {
+	if k == 0 {
+		return golden
+	}
+	return k
+}
+
+// NewSource returns the root source for a seed. Distinct seeds give
+// statistically independent streams; the same seed always gives the same
+// stream.
+func NewSource(seed int64) Source {
+	return Source{key: nonzero(mix(uint64(seed) + golden))}
+}
+
+// Valid reports whether s is a real source (false for the zero Source).
+func (s Source) Valid() bool { return s.key != 0 }
+
+// Derive returns the i-th child source. Children with different indices,
+// and children of different parents, are statistically independent.
+func (s Source) Derive(i uint64) Source {
+	return Source{key: nonzero(mix(s.key ^ mix(i*golden+golden)))}
+}
+
+// Uint64 returns the i-th raw draw of the stream: a pure function of
+// (source, i), so draws may be evaluated in any order by any goroutine.
+func (s Source) Uint64(i uint64) uint64 {
+	return mix(s.key + (i+1)*golden)
+}
+
+// Float64 returns the i-th uniform draw in the open interval (0, 1).
+func (s Source) Float64(i uint64) float64 {
+	// 53 high bits, centered on the lattice: never exactly 0 or 1.
+	return (float64(s.Uint64(i)>>11) + 0.5) * (1.0 / (1 << 53))
+}
+
+// Norm returns the i-th standard normal draw (mean 0, std 1), via
+// Box-Muller over two uniform draws. Unlike rand.NormFloat64's ziggurat,
+// the value is a branch-free pure function of (source, i) — the property
+// the parallel noisy simulation depends on.
+func (s Source) Norm(i uint64) float64 {
+	u1 := s.Float64(2 * i)
+	u2 := s.Float64(2*i + 1)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

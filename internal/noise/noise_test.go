@@ -1,0 +1,139 @@
+package noise
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestZeroSourceInvalid(t *testing.T) {
+	var s Source
+	if s.Valid() {
+		t.Error("zero Source must be invalid")
+	}
+	if !NewSource(0).Valid() {
+		t.Error("NewSource(0) must be valid")
+	}
+	if !NewSource(0).Derive(0).Valid() {
+		t.Error("derived source must be valid")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := uint64(0); i < 100; i++ {
+		if a.Norm(i) != b.Norm(i) {
+			t.Fatalf("draw %d differs for identical sources", i)
+		}
+		if a.Derive(i) != b.Derive(i) {
+			t.Fatalf("child %d differs for identical sources", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	if a == b {
+		t.Fatal("different seeds produced identical sources")
+	}
+	same := 0
+	for i := uint64(0); i < 64; i++ {
+		if a.Uint64(i) == b.Uint64(i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 draws collide across seeds", same)
+	}
+}
+
+func TestDeriveDecorrelates(t *testing.T) {
+	root := NewSource(7)
+	c0, c1 := root.Derive(0), root.Derive(1)
+	if c0 == c1 || c0 == root || c1 == root {
+		t.Fatal("Derive must produce distinct sources")
+	}
+	// Sibling streams must not be shifted copies of each other.
+	for i := uint64(0); i < 64; i++ {
+		if c0.Uint64(i) == c1.Uint64(i) {
+			t.Fatalf("draw %d identical across siblings", i)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// The defining property: draw i is the same whether evaluated first,
+	// last, or concurrently.
+	s := NewSource(99)
+	forward := make([]float64, 256)
+	for i := range forward {
+		forward[i] = s.Norm(uint64(i))
+	}
+	backward := make([]float64, 256)
+	for i := len(backward) - 1; i >= 0; i-- {
+		backward[i] = s.Norm(uint64(i))
+	}
+	for i := range forward {
+		if forward[i] != backward[i] {
+			t.Fatalf("draw %d depends on evaluation order", i)
+		}
+	}
+	// And concurrently, under -race.
+	concurrent := make([]float64, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 256; i += 8 {
+				concurrent[i] = s.Norm(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range forward {
+		if forward[i] != concurrent[i] {
+			t.Fatalf("draw %d differs under concurrent evaluation", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(3)
+	for i := uint64(0); i < 10000; i++ {
+		v := s.Float64(i)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Float64(%d) = %v outside (0,1)", i, v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := NewSource(12345)
+	const n = 200000
+	var sum, sumSq float64
+	for i := uint64(0); i < n; i++ {
+		v := s.Norm(i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %g, want ~1", variance)
+	}
+}
+
+func TestNormFinite(t *testing.T) {
+	s := NewSource(-1)
+	for i := uint64(0); i < 100000; i++ {
+		v := s.Norm(i)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Norm(%d) = %v", i, v)
+		}
+	}
+}

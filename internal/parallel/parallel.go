@@ -24,10 +24,11 @@
 //
 // SetWidth(1) selects sequential mode: work runs inline on the calling
 // goroutine, in index order, with no goroutines spawned. Reproducibility
-// tests and callers holding non-thread-safe state (e.g. a shared
-// *rand.Rand driving analog read noise) use it; code paths that consume a
-// shared RNG also force themselves sequential regardless of width, so
-// noise studies stay bit-identical to the historical serial simulator.
+// tests pin it as the reference, and it is handy when profiling
+// single-thread hot spots. No simulation path requires it anymore: analog
+// read noise is counter-based (internal/noise draws are pure functions of
+// position, not draw order), so even noise studies fan out at any width
+// and stay bit-identical to sequential mode.
 //
 // # Width
 //
