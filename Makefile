@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -27,23 +27,39 @@ test:
 # (pool width = GOMAXPROCS), so this exercises the concurrent hot paths.
 # The second invocation pins the noisy parallel-equivalence suites — the
 # tests that prove counter-based noise is bit-identical at any pool width —
-# so a -run filter or cached result can never silently skip them.
+# so a -run filter or cached result can never silently skip them. The
+# third pins the serving-pipeline and memo single-flight concurrency
+# suites (micro-batcher, backpressure, shadow swaps at pool widths 1/4/16,
+# deduplicated concurrent memo Calls, lock-free histogram observes).
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
 		-run 'Noisy|ParallelEquivalence|OrderIndependence' \
 		./internal/crossbar/ ./internal/dpe/ ./internal/experiments/
+	$(GO) test -race -count=1 \
+		-run 'Serve|Shadow|Backpressure|SingleFlight|HistogramConcurrent' \
+		./internal/serve/ ./internal/memo/ ./internal/metrics/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable record of the MVM kernel benchmarks (satellite of the
 # cache-aware kernel rewrite): runs the BenchmarkCrossbarMVM sweep with
-# allocation stats and converts the output to BENCH_mvm.json.
-bench-json:
+# allocation stats and converts the output to BENCH_mvm.json. Also runs
+# the serving-pipeline benchmark so BENCH_serve.json stays in step.
+bench-json: bench-serve
 	$(GO) test -run '^$$' -bench 'BenchmarkCrossbarMVM$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_mvm.json
 	@echo wrote BENCH_mvm.json
+
+# Serving-pipeline benchmark: 64 closed-loop clients over the 8-bit MLP
+# workload, serial per-request baseline vs the micro-batched pipeline
+# (with two shadow-engine weight swaps mid-run), emitted through
+# cmd/benchjson as BENCH_serve.json (throughput, p50/p95/p99, energy).
+bench-serve:
+	$(GO) run ./cmd/cimserve -clients 64 -requests 2048 -batch 64 -reprogram 2 \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

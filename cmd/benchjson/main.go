@@ -43,6 +43,10 @@ type Result struct {
 	// they are -1 when the input line lacked them.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra carries custom (value, unit) pairs beyond the standard three
+	// — testing.B.ReportMetric emits these, and cmd/cimserve uses them
+	// for req_per_s, sim_speedup, and the p50/p95/p99 latency quantiles.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the emitted JSON shape.
@@ -174,6 +178,18 @@ func parseLine(line string) (Result, bool, error) {
 				return Result{}, false, err
 			}
 			res.AllocsPerOp = v
+		default:
+			// Custom metric (testing.B.ReportMetric style): keep it if the
+			// value parses; otherwise skip the pair rather than failing
+			// the line.
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = v
 		}
 	}
 	if res.NsPerOp == 0 && !strings.Contains(line, "ns/op") {

@@ -50,3 +50,31 @@ func TestParseIgnoresNonResultLines(t *testing.T) {
 		t.Fatalf("expected 0 results, got %d", len(doc.Results))
 	}
 }
+
+// TestParseExtraMetrics: custom (value, unit) pairs — the
+// testing.B.ReportMetric convention cmd/cimserve uses for throughput and
+// latency quantiles — land in the Extra map instead of being dropped.
+func TestParseExtraMetrics(t *testing.T) {
+	in := strings.NewReader(
+		"BenchmarkServe/batch_c64-1 2048 812345 ns/op 7890.5 req_per_s 5.12 sim_speedup 1048576 p99_ns\n")
+	doc, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkServe/batch_c64" || r.NsPerOp != 812345 {
+		t.Errorf("core fields mangled: %+v", r)
+	}
+	want := map[string]float64{"req_per_s": 7890.5, "sim_speedup": 5.12, "p99_ns": 1048576}
+	for k, v := range want {
+		if r.Extra[k] != v {
+			t.Errorf("Extra[%q] = %g, want %g", k, r.Extra[k], v)
+		}
+	}
+	if r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("absent benchmem fields should stay -1: %+v", r)
+	}
+}

@@ -1,0 +1,426 @@
+// Command cimserve is the closed-loop load generator for the inference
+// serving pipeline (internal/serve). It stands up the paper's Section VI
+// DPE behind the micro-batching frontend, drives it with N concurrent
+// closed-loop clients (each client issues its next request the moment the
+// previous one returns), and reports throughput and latency quantiles in
+// `go test -bench` text format so the output pipes straight through
+// cmd/benchjson into BENCH_serve.json:
+//
+//	go run ./cmd/cimserve | go run ./cmd/benchjson -out BENCH_serve.json
+//
+// Two serving modes are measured:
+//
+//   - serial: every request pays serial per-request Infer latency — the
+//     pre-pipeline baseline where concurrent callers queue on one engine.
+//   - batch: requests flow through the adaptive micro-batcher into
+//     InferBatch, which overlaps batch items across the engine's stage
+//     pipeline (simulated time) and across the worker pool (wall time).
+//
+// Each mode reports wall-clock ns/op plus custom metrics: req_per_s (wall
+// throughput), sim_req_per_s (simulated throughput from the energy
+// algebra's virtual clock), p50_ns/p95_ns/p99_ns (wall latency quantiles
+// from the lock-free serving histogram), and pj_per_req (energy). The
+// batch line adds sim_speedup and wall_speedup versus the serial baseline,
+// and -reprogram > 0 exercises shadow-engine weight swaps mid-run to show
+// they cost the serving path nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cimrev/internal/dpe"
+	"cimrev/internal/metrics"
+	"cimrev/internal/nn"
+	"cimrev/internal/serve"
+)
+
+// options is the validated CLI configuration.
+type options struct {
+	clients   int
+	requests  int
+	batch     int
+	deadline  time.Duration
+	queue     int
+	mode      string
+	layers    []int
+	seed      int64
+	reprogram int
+}
+
+// parseLayers parses a comma-separated MLP shape like "256,128,10".
+func parseLayers(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("cimserve: -layers needs at least 2 comma-separated sizes, got %q", s)
+	}
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("cimserve: -layers entry %d (%q) must be a positive integer", i, p)
+		}
+		sizes[i] = v
+	}
+	return sizes, nil
+}
+
+// validate fails fast on degenerate parameters, mirroring the
+// serve.Config / crossbar ADCBits=0 convention.
+func (o options) validate() error {
+	switch {
+	case o.clients < 1:
+		return fmt.Errorf("cimserve: -clients must be >= 1, got %d", o.clients)
+	case o.requests < 1:
+		return fmt.Errorf("cimserve: -requests must be >= 1, got %d", o.requests)
+	case o.batch < 1:
+		return fmt.Errorf("cimserve: -batch must be >= 1, got %d", o.batch)
+	case o.deadline <= 0:
+		return fmt.Errorf("cimserve: -deadline must be positive, got %v", o.deadline)
+	case o.queue < 1:
+		return fmt.Errorf("cimserve: -queue must be >= 1, got %d", o.queue)
+	case o.queue < o.clients:
+		return fmt.Errorf("cimserve: -queue (%d) must be >= -clients (%d): a closed loop never has more than one outstanding request per client, so a smaller queue just sheds load spuriously", o.queue, o.clients)
+	case o.mode != "both" && o.mode != "serial" && o.mode != "batch":
+		return fmt.Errorf("cimserve: -mode must be one of both|serial|batch, got %q", o.mode)
+	case o.reprogram < 0:
+		return fmt.Errorf("cimserve: -reprogram must be >= 0, got %d", o.reprogram)
+	}
+	return nil
+}
+
+// runStats is what one serving mode measured.
+type runStats struct {
+	requests int
+	wall     time.Duration
+	simPS    int64
+	energyPJ float64
+	lat      metrics.HistogramSnapshot
+	swaps    int64
+	shed     int64
+	avgBatch float64
+}
+
+func (s runStats) wallReqPerSec() float64 {
+	if s.wall <= 0 {
+		return 0
+	}
+	return float64(s.requests) / s.wall.Seconds()
+}
+
+func (s runStats) simReqPerSec() float64 {
+	if s.simPS <= 0 {
+		return 0
+	}
+	return float64(s.requests) / (float64(s.simPS) * 1e-12)
+}
+
+func main() {
+	var o options
+	var layersFlag string
+	flag.IntVar(&o.clients, "clients", 64, "concurrent closed-loop clients")
+	flag.IntVar(&o.requests, "requests", 2048, "total requests per mode")
+	flag.IntVar(&o.batch, "batch", 64, "micro-batcher max batch size")
+	flag.DurationVar(&o.deadline, "deadline", 2*time.Millisecond, "micro-batcher flush deadline")
+	flag.IntVar(&o.queue, "queue", 4096, "ingress queue bound (backpressure high-water mark)")
+	flag.StringVar(&o.mode, "mode", "both", "serving modes to run: both|serial|batch")
+	flag.StringVar(&layersFlag, "layers", "256,256,256,256,256,128,10", "8-bit MLP layer sizes")
+	flag.Int64Var(&o.seed, "seed", 1, "workload and engine seed")
+	flag.IntVar(&o.reprogram, "reprogram", 0, "shadow-engine weight swaps to perform mid-run (batch mode)")
+	flag.Parse()
+
+	layers, err := parseLayers(layersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	o.layers = layers
+	if err := o.validate(); err != nil {
+		fatal(err)
+	}
+	if err := run(os.Stdout, o); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cimserve:", err)
+	os.Exit(1)
+}
+
+// run executes the selected modes and writes bench-format lines to w.
+func run(w io.Writer, o options) error {
+	// The 8-bit MLP workload: default crossbar config is 8-bit weights,
+	// 8-bit inputs, 8-bit ADCs; functional mode keeps the cost model
+	// intact while skipping per-cycle ADC emulation.
+	cfg := dpe.DefaultConfig()
+	cfg.Seed = o.seed
+
+	rng := rand.New(rand.NewSource(o.seed))
+	net, err := nn.NewMLP("serve-mlp8", o.layers, rng)
+	if err != nil {
+		return err
+	}
+	netB, err := nn.NewMLP("serve-mlp8-v2", o.layers, rng)
+	if err != nil {
+		return err
+	}
+	inputs := make([][]float64, 256)
+	for i := range inputs {
+		in := make([]float64, o.layers[0])
+		for j := range in {
+			in[j] = rng.Float64()*2 - 1
+		}
+		inputs[i] = in
+	}
+
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: cimrev/cmd/cimserve\n")
+
+	var serial, batch runStats
+	if o.mode == "both" || o.mode == "serial" {
+		serial, err = runSerial(cfg, net, inputs, o)
+		if err != nil {
+			return err
+		}
+		emit(w, fmt.Sprintf("BenchmarkServe/serial_c%d", o.clients), serial, nil, nil)
+	}
+	if o.mode == "both" || o.mode == "batch" {
+		batch, err = runBatch(cfg, net, netB, inputs, o)
+		if err != nil {
+			return err
+		}
+		extra := map[string]float64{"avg_batch": batch.avgBatch, "swaps": float64(batch.swaps)}
+		order := []string{"avg_batch", "swaps"}
+		if o.mode == "both" {
+			if batch.simPS > 0 {
+				extra["sim_speedup"] = float64(serial.simPS) / float64(batch.simPS)
+				order = append(order, "sim_speedup")
+			}
+			if batch.wall > 0 {
+				extra["wall_speedup"] = serial.wall.Seconds() / batch.wall.Seconds()
+				order = append(order, "wall_speedup")
+			}
+		}
+		name := fmt.Sprintf("BenchmarkServe/batch_c%d_b%d", o.clients, o.batch)
+		emit(w, name, batch, extra, order)
+	}
+	summary(os.Stderr, o, serial, batch)
+	return nil
+}
+
+// runSerial measures the baseline: o.clients closed-loop clients contend
+// for one engine whose Infer calls are fully serialized — every request
+// pays serial per-request latency, in wall-clock and in simulated time.
+func runSerial(cfg dpe.Config, net *nn.Network, inputs [][]float64, o options) (runStats, error) {
+	eng, err := dpe.New(cfg)
+	if err != nil {
+		return runStats{}, err
+	}
+	if _, err := eng.Load(net); err != nil {
+		return runStats{}, err
+	}
+
+	lat := metrics.NewHistogram()
+	var mu sync.Mutex // serializes Infer: the no-pipeline baseline
+	var issued atomic.Int64
+	var simPS atomic.Int64
+	var energyBits atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := issued.Add(1) - 1
+				if i >= int64(o.requests) {
+					return
+				}
+				t0 := time.Now()
+				mu.Lock()
+				_, cost, err := eng.Infer(inputs[int(i)%len(inputs)])
+				mu.Unlock()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lat.Observe(float64(time.Since(t0).Nanoseconds()))
+				simPS.Add(cost.LatencyPS)
+				addEnergy(&energyBits, cost.EnergyPJ)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return runStats{}, err
+	}
+	return runStats{
+		requests: o.requests,
+		wall:     wall,
+		simPS:    simPS.Load(),
+		energyPJ: loadEnergy(&energyBits),
+		lat:      lat.Snapshot(),
+	}, nil
+}
+
+// runBatch measures the pipeline: the same closed-loop clients submit to
+// the micro-batching server over a shadow pair, with optional mid-run
+// weight swaps.
+func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options) (runStats, error) {
+	pair, _, err := serve.NewShadowPair(cfg, net)
+	if err != nil {
+		return runStats{}, err
+	}
+	srv, err := serve.New(pair, serve.Config{
+		MaxBatch:   o.batch,
+		MaxDelay:   o.deadline,
+		QueueBound: o.queue,
+	})
+	if err != nil {
+		return runStats{}, err
+	}
+
+	var issued, shed atomic.Int64
+	var energyBits atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := issued.Add(1) - 1
+				if i >= int64(o.requests) {
+					return
+				}
+				for {
+					_, cost, err := srv.Infer(inputs[int(i)%len(inputs)])
+					if err == serve.ErrOverloaded {
+						// Closed-loop clients with queue >= clients should
+						// never see this; count and retry so the bench
+						// still completes if tuned otherwise.
+						shed.Add(1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					addEnergy(&energyBits, cost.EnergyPJ)
+					break
+				}
+			}
+		}(c)
+	}
+
+	// Shadow swaps spread across the run: reprogramming must cost the
+	// serving path nothing but the buffer swap.
+	var swapErr error
+	if o.reprogram > 0 {
+		interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
+		if interval < 2*time.Millisecond {
+			interval = 2 * time.Millisecond
+		}
+		for k := 0; k < o.reprogram; k++ {
+			time.Sleep(interval)
+			target := netB
+			if k%2 == 1 {
+				target = net
+			}
+			if _, _, err := pair.Reprogram(target); err != nil {
+				swapErr = err
+				break
+			}
+		}
+	}
+
+	wg.Wait()
+	wall := time.Since(start)
+	srv.Close()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return runStats{}, err
+	}
+	if swapErr != nil {
+		return runStats{}, swapErr
+	}
+
+	snap := srv.Registry().Snapshot()
+	st := runStats{
+		requests: o.requests,
+		wall:     wall,
+		simPS:    srv.SimTimePS(),
+		energyPJ: loadEnergy(&energyBits),
+		lat:      snap.Histograms["serve.latency_ns"],
+		swaps:    pair.Swaps(),
+		shed:     shed.Load(),
+	}
+	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
+	return st, nil
+}
+
+// emit writes one `go test -bench`-style result line: name, iterations,
+// ns/op, then custom (value, unit) pairs that cmd/benchjson collects into
+// its Extra map. The -1 suffix mirrors go test's GOMAXPROCS suffix.
+func emit(w io.Writer, name string, s runStats, extra map[string]float64, order []string) {
+	nsPerOp := float64(s.wall.Nanoseconds()) / float64(s.requests)
+	fmt.Fprintf(w, "%s-%d %d %.0f ns/op", name, runtime.GOMAXPROCS(0), s.requests, nsPerOp)
+	fmt.Fprintf(w, " %.1f req_per_s", s.wallReqPerSec())
+	fmt.Fprintf(w, " %.4g sim_req_per_s", s.simReqPerSec())
+	fmt.Fprintf(w, " %.0f p50_ns %.0f p95_ns %.0f p99_ns",
+		s.lat.Quantile(0.50), s.lat.Quantile(0.95), s.lat.Quantile(0.99))
+	fmt.Fprintf(w, " %.4g pj_per_req", s.energyPJ/float64(s.requests))
+	for _, k := range order {
+		fmt.Fprintf(w, " %.4g %s", extra[k], k)
+	}
+	fmt.Fprintln(w)
+}
+
+// summary prints the human-readable comparison to stderr so stdout stays
+// machine-clean for the benchjson pipe.
+func summary(w io.Writer, o options, serial, batch runStats) {
+	fmt.Fprintf(w, "cimserve: %d requests, %d clients, MLP %v (8-bit)\n", o.requests, o.clients, o.layers)
+	if serial.requests > 0 {
+		fmt.Fprintf(w, "  serial: %8.1f req/s wall   %10.4g req/s simulated   p99 %s\n",
+			serial.wallReqPerSec(), serial.simReqPerSec(), time.Duration(serial.lat.Quantile(0.99)))
+	}
+	if batch.requests > 0 {
+		fmt.Fprintf(w, "  batch:  %8.1f req/s wall   %10.4g req/s simulated   p99 %s   avg batch %.1f   swaps %d   shed %d\n",
+			batch.wallReqPerSec(), batch.simReqPerSec(), time.Duration(batch.lat.Quantile(0.99)),
+			batch.avgBatch, batch.swaps, batch.shed)
+	}
+	if serial.requests > 0 && batch.simPS > 0 {
+		fmt.Fprintf(w, "  simulated speedup: %.2fx   wall speedup: %.2fx\n",
+			float64(serial.simPS)/float64(batch.simPS),
+			serial.wall.Seconds()/batch.wall.Seconds())
+	}
+}
+
+// addEnergy CAS-adds pJ into a float64-bits cell.
+func addEnergy(cell *atomic.Uint64, pj float64) {
+	for {
+		old := cell.Load()
+		next := math.Float64bits(math.Float64frombits(old) + pj)
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func loadEnergy(cell *atomic.Uint64) float64 { return math.Float64frombits(cell.Load()) }

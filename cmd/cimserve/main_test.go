@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLayers(t *testing.T) {
+	got, err := parseLayers("256, 128,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{256, 128, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseLayers = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "256", "256,0,10", "256,x,10", "256,-1"} {
+		if _, err := parseLayers(bad); err == nil {
+			t.Errorf("parseLayers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := options{clients: 4, requests: 8, batch: 2, deadline: time.Millisecond,
+		queue: 16, mode: "both", layers: []int{16, 8}}
+	if err := good.validate(); err != nil {
+		t.Fatalf("good options rejected: %v", err)
+	}
+	mut := []func(*options){
+		func(o *options) { o.clients = 0 },
+		func(o *options) { o.requests = 0 },
+		func(o *options) { o.batch = 0 },
+		func(o *options) { o.deadline = 0 },
+		func(o *options) { o.queue = 0 },
+		func(o *options) { o.queue = o.clients - 1 },
+		func(o *options) { o.mode = "turbo" },
+		func(o *options) { o.reprogram = -1 },
+	}
+	for i, m := range mut {
+		o := good
+		m(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, o)
+		}
+	}
+}
+
+// TestRunEndToEnd drives a miniature closed loop through both modes (with
+// one shadow swap) and checks the bench-format output that feeds
+// cmd/benchjson.
+func TestRunEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	o := options{
+		clients:   4,
+		requests:  32,
+		batch:     4,
+		deadline:  time.Millisecond,
+		queue:     64,
+		mode:      "both",
+		layers:    []int{32, 24, 10},
+		seed:      7,
+		reprogram: 1,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"goos:", "pkg: cimrev/cmd/cimserve",
+		"BenchmarkServe/serial_c4-", "BenchmarkServe/batch_c4_b4-",
+		"ns/op", "req_per_s", "sim_req_per_s",
+		"p50_ns", "p95_ns", "p99_ns", "pj_per_req",
+		"avg_batch", "swaps", "sim_speedup", "wall_speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both result lines must carry the request count as iterations.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BenchmarkServe/") && !strings.Contains(line, " 32 ") {
+			t.Errorf("result line missing iteration count 32: %q", line)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"cimrev/internal/energy"
 	"cimrev/internal/kvs"
@@ -32,11 +33,27 @@ const (
 type Func func(in []float64) ([]float64, energy.Cost, error)
 
 // Table memoizes one function over a persistent store.
+//
+// Concurrent Calls with identical inputs are single-flighted: the first
+// caller (the leader) computes fn once while the others block on the
+// in-flight computation and share its result. Without this, N concurrent
+// misses on one key would all recompute fn — paying the compute cost N
+// times and counting N misses — before racing to store identical values.
 type Table struct {
 	name  string
 	fn    Func
 	store *kvs.Store
 	reg   *metrics.Registry
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress computation that followers can wait on.
+type flight struct {
+	done chan struct{} // closed when out/err are final
+	out  []float64     // leader's private copy; followers copy again
+	err  error
 }
 
 // NewTable wraps fn with a memo table in store. name namespaces the keys so
@@ -51,7 +68,7 @@ func NewTable(name string, fn Func, store *kvs.Store, reg *metrics.Registry) (*T
 	if store == nil {
 		return nil, fmt.Errorf("memo: nil store")
 	}
-	return &Table{name: name, fn: fn, store: store, reg: reg}, nil
+	return &Table{name: name, fn: fn, store: store, reg: reg, inflight: make(map[string]*flight)}, nil
 }
 
 func (t *Table) key(in []float64) string {
@@ -83,17 +100,81 @@ func decode(data []byte) ([]float64, error) {
 
 // Call evaluates the function through the memo table, returning the result,
 // the cost actually paid, and whether it was a cache hit.
+//
+// Concurrent Calls on the same key are deduplicated: exactly one caller
+// computes fn (counting one memo.miss and paying lookup+compute+store);
+// the rest block until it finishes, share the result, and are charged a
+// lookup cost like any hit (the compute energy is physically spent once).
+// Followers count toward memo.hits and additionally toward memo.shared.
+// A leader error propagates to every waiter and caches nothing, so a later
+// Call retries the computation.
 func (t *Table) Call(in []float64) ([]float64, energy.Cost, bool, error) {
 	key := t.key(in)
-	if data, ok := t.store.Get(key); ok {
-		out, err := decode(data)
-		if err != nil {
-			return nil, energy.Zero, false, err
+	if out, cost, ok, err := t.lookup(key); ok || err != nil {
+		return out, cost, ok, err
+	}
+
+	t.mu.Lock()
+	if f, ok := t.inflight[key]; ok {
+		// Follower: someone is already computing this key.
+		t.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, energy.Zero, false, f.err
 		}
 		if t.reg != nil {
 			t.reg.Counter("memo.hits").Inc()
+			t.reg.Counter("memo.shared").Inc()
 		}
+		out := append([]float64(nil), f.out...)
 		return out, energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	t.inflight[key] = f
+	t.mu.Unlock()
+
+	// Leader. Whatever happens, publish the outcome and retire the flight.
+	out, cost, hit, err := t.compute(key, in)
+	if err == nil {
+		// Private copy: the leader's caller owns `out` and may mutate it
+		// while followers are still copying from f.out.
+		f.out = append([]float64(nil), out...)
+	}
+	f.err = err
+	t.mu.Lock()
+	delete(t.inflight, key)
+	t.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, energy.Zero, false, err
+	}
+	return out, cost, hit, nil
+}
+
+// lookup consults the persistent store; ok reports a hit.
+func (t *Table) lookup(key string) ([]float64, energy.Cost, bool, error) {
+	data, ok := t.store.Get(key)
+	if !ok {
+		return nil, energy.Zero, false, nil
+	}
+	out, err := decode(data)
+	if err != nil {
+		return nil, energy.Zero, false, err
+	}
+	if t.reg != nil {
+		t.reg.Counter("memo.hits").Inc()
+	}
+	return out, energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}, true, nil
+}
+
+// compute runs fn and stores the result, charging the full miss cost:
+// failed lookup + computation + persistent store write. It re-checks the
+// store first (hit reports that case), closing the window where a previous
+// leader finished between this caller's missed lookup and its flight
+// registration.
+func (t *Table) compute(key string, in []float64) ([]float64, energy.Cost, bool, error) {
+	if out, cost, ok, err := t.lookup(key); ok || err != nil {
+		return out, cost, ok, err
 	}
 	out, computeCost, err := t.fn(in)
 	if err != nil {

@@ -2,7 +2,11 @@ package memo
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cimrev/internal/energy"
 	"cimrev/internal/kvs"
@@ -181,5 +185,216 @@ func TestHitRateWithoutRegistry(t *testing.T) {
 func TestDecodeCorrupt(t *testing.T) {
 	if _, err := decode([]byte{1, 2, 3}); err == nil {
 		t.Error("corrupt value accepted")
+	}
+}
+
+// slowFunc counts invocations atomically and blocks until release is
+// closed, so a test can pile concurrent callers onto one in-flight compute.
+func slowFunc(calls *atomic.Int64, release <-chan struct{}) Func {
+	return func(in []float64) ([]float64, energy.Cost, error) {
+		calls.Add(1)
+		if release != nil {
+			<-release
+		}
+		out := make([]float64, len(in))
+		for i, v := range in {
+			out[i] = v * v
+		}
+		return out, energy.Cost{LatencyPS: 1_000_000_000, EnergyPJ: 1e6}, nil
+	}
+}
+
+// TestCallSingleFlight: N concurrent Calls with identical input must
+// compute fn exactly once; the followers block on the leader and share its
+// result, counting as hits (plus memo.shared), so memo.misses is 1 and the
+// compute cost is charged exactly once.
+func TestCallSingleFlight(t *testing.T) {
+	t.Parallel()
+	store := kvs.NewStore()
+	reg := metrics.NewRegistry()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	tbl, err := NewTable("sf", slowFunc(&calls, release), store, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 32
+	in := []float64{3, 4}
+	var wg sync.WaitGroup
+	var hits, misses, fullCost atomic.Int64
+	outs := make([][]float64, callers)
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out, cost, hit, err := tbl.Call(in)
+			outs[c], errs[c] = out, err
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+			if cost.LatencyPS >= 1_000_000_000 {
+				fullCost.Add(1)
+			}
+		}(c)
+	}
+	// Let the callers pile up on the in-flight computation, then release.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn invoked %d times, want 1 (single-flight)", got)
+	}
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if len(outs[c]) != 2 || outs[c][0] != 9 || outs[c][1] != 16 {
+			t.Fatalf("caller %d output = %v, want [9 16]", c, outs[c])
+		}
+	}
+	if misses.Load() != 1 || hits.Load() != callers-1 {
+		t.Errorf("hit/miss split = %d/%d, want %d/1", hits.Load(), misses.Load(), callers-1)
+	}
+	if fullCost.Load() != 1 {
+		t.Errorf("%d callers paid the compute cost, want exactly 1", fullCost.Load())
+	}
+	s := reg.Snapshot()
+	if s.Counters["memo.misses"] != 1 {
+		t.Errorf("memo.misses = %d, want 1", s.Counters["memo.misses"])
+	}
+	if s.Counters["memo.hits"] != callers-1 {
+		t.Errorf("memo.hits = %d, want %d", s.Counters["memo.hits"], callers-1)
+	}
+	if s.Counters["memo.shared"] != callers-1 {
+		t.Errorf("memo.shared = %d, want %d", s.Counters["memo.shared"], callers-1)
+	}
+}
+
+// TestCallSingleFlightDistinctKeys: single-flight must key on the input;
+// concurrent Calls with different inputs all compute.
+func TestCallSingleFlightDistinctKeys(t *testing.T) {
+	t.Parallel()
+	store := kvs.NewStore()
+	var calls atomic.Int64
+	tbl, err := NewTable("sfk", slowFunc(&calls, nil), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 8
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if _, _, _, err := tbl.Call([]float64{float64(k)}); err != nil {
+				t.Error(err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != keys {
+		t.Errorf("fn invoked %d times, want %d (one per key)", got, keys)
+	}
+}
+
+// TestCallSingleFlightErrorPropagates: a leader error reaches every
+// follower, caches nothing, and a subsequent Call retries.
+func TestCallSingleFlightErrorPropagates(t *testing.T) {
+	t.Parallel()
+	store := kvs.NewStore()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	boom := fmt.Errorf("transient failure")
+	fn := func(in []float64) ([]float64, energy.Cost, error) {
+		if calls.Add(1) == 1 {
+			<-release
+			return nil, energy.Zero, boom
+		}
+		return []float64{42}, energy.Zero, nil
+	}
+	tbl, err := NewTable("sfe", fn, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	var errCount atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, _, err := tbl.Call([]float64{7}); err != nil {
+				errCount.Add(1)
+			}
+		}()
+	}
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := errCount.Load(); got != callers {
+		t.Errorf("%d callers saw the leader error, want all %d", got, callers)
+	}
+	// Nothing cached; the retry recomputes and succeeds.
+	out, _, hit, err := tbl.Call([]float64{7})
+	if err != nil || hit || len(out) != 1 || out[0] != 42 {
+		t.Errorf("retry = (%v, hit=%v, err=%v), want fresh [42]", out, hit, err)
+	}
+}
+
+// TestCallSingleFlightFollowerOwnsResult: followers must receive private
+// copies — mutating one caller's result must not leak into another's.
+func TestCallSingleFlightFollowerOwnsResult(t *testing.T) {
+	t.Parallel()
+	store := kvs.NewStore()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	tbl, err := NewTable("sfo", slowFunc(&calls, release), store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	outs := make([][]float64, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out, _, _, err := tbl.Call([]float64{5})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[0] = float64(-c) // caller scribbles on its result
+			outs[c] = out
+		}(c)
+	}
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	seen := map[float64]bool{}
+	for c := 0; c < callers; c++ {
+		if seen[outs[c][0]] {
+			t.Fatalf("two callers share a result slice: value %g seen twice", outs[c][0])
+		}
+		seen[outs[c][0]] = true
+	}
+	// And the cached value is unscathed.
+	out, _, hit, err := tbl.Call([]float64{5})
+	if err != nil || !hit || out[0] != 25 {
+		t.Errorf("cached value = (%v, hit=%v, err=%v), want hit [25]", out, hit, err)
 	}
 }

@@ -60,35 +60,82 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram records observations into logarithmic buckets (powers of two)
-// and supports quantile estimation. Construct with NewHistogram.
+// histBuckets is the fixed number of log-spaced (power-of-two) buckets.
+const histBuckets = 64
+
+// Histogram records observations into fixed logarithmic buckets (powers of
+// two) and supports quantile estimation. Construct with NewHistogram.
+//
+// Histogram is lock-free: Observe touches only atomic bucket counters and
+// CAS-updated scalar cells, so the request hot path in internal/serve can
+// record per-request latency from many goroutines without contending on a
+// mutex. Readers (Quantile, Mean, Snapshot, ...) load the atomics without
+// stopping writers; a read concurrent with writes sees some consistent
+// recent history plus possibly a subset of in-flight observations, which is
+// the usual monitoring-system contract.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets []int64 // buckets[i] counts values in [2^(i-1), 2^i)
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
+	buckets [histBuckets]atomic.Int64 // buckets[i] counts values in [2^(i-1), 2^i)
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	minBits atomic.Uint64 // float64 bits of the running min (+Inf when empty)
+	maxBits atomic.Uint64 // float64 bits of the running max (-Inf when empty)
 }
 
 // NewHistogram returns an empty histogram covering values up to 2^62.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make([]int64, 64), min: math.Inf(1), max: math.Inf(-1)}
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value. Non-positive values land in bucket 0.
+// Observe is lock-free and safe for concurrent use.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	h.buckets[bucketFor(v)].Add(1)
+	casAddFloat(&h.sumBits, v)
+	casMinFloat(&h.minBits, v)
+	casMaxFloat(&h.maxBits, v)
+	h.count.Add(1)
+}
+
+// casAddFloat atomically adds delta to the float64 stored as bits in cell.
+func casAddFloat(cell *atomic.Uint64, delta float64) {
+	for {
+		old := cell.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
 	}
-	if v > h.max {
-		h.max = v
+}
+
+// casMinFloat atomically lowers the float64 stored in cell to v if v is
+// smaller.
+func casMinFloat(cell *atomic.Uint64, v float64) {
+	for {
+		old := cell.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if cell.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
-	h.buckets[bucketFor(v)]++
+}
+
+// casMaxFloat atomically raises the float64 stored in cell to v if v is
+// larger.
+func casMaxFloat(cell *atomic.Uint64, v float64) {
+	for {
+		old := cell.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if cell.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 func bucketFor(v float64) int {
@@ -96,55 +143,81 @@ func bucketFor(v float64) int {
 		return 0
 	}
 	b := int(math.Log2(v)) + 1
-	if b >= 64 {
-		b = 63
+	if b >= histBuckets {
+		b = histBuckets - 1
 	}
 	return b
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+// BucketUpperEdge returns the exclusive upper edge of bucket i: values in
+// bucket i satisfy BucketUpperEdge(i-1) <= v < BucketUpperEdge(i), with
+// bucket 0 holding everything below 1.
+func BucketUpperEdge(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	return math.Pow(2, float64(i))
 }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Mean returns the arithmetic mean, or 0 for an empty histogram.
-func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / float64(h.count)
-}
+func (h *Histogram) Mean() float64 { return h.Snapshot().Mean() }
 
 // Min returns the smallest observation, or 0 when empty.
-func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.min
-}
+func (h *Histogram) Min() float64 { return h.Snapshot().Min }
 
 // Max returns the largest observation, or 0 when empty.
-func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.max
-}
+func (h *Histogram) Max() float64 { return h.Snapshot().Max }
 
 // Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1)
 // using bucket upper edges. Returns 0 for an empty histogram.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, cheap
+// to take and safe to hold while the live histogram keeps absorbing
+// observations. All quantile math happens on snapshots so that concurrent
+// Observes cannot move the distribution mid-walk.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Min     float64 // 0 when Count == 0
+	Max     float64 // 0 when Count == 0
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the current bucket counts and scalar cells. Concurrent
+// with writers the copy is approximate (an in-flight Observe may appear in
+// the buckets but not yet in Count, or vice versa); quiescent it is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1)
+// using bucket upper edges. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -153,21 +226,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	// Quantile over the bucket copy, not Count: concurrent snapshots can
+	// catch count ahead of the bucket increments, and the walk must use a
+	// self-consistent total.
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
 	if target == 0 {
 		target = 1
 	}
 	var cum int64
-	for i, n := range h.buckets {
+	for i, n := range s.Buckets {
 		cum += n
 		if cum >= target {
-			if i == 0 {
-				return 1
-			}
-			return math.Pow(2, float64(i)) // upper edge of bucket i
+			return BucketUpperEdge(i)
 		}
 	}
-	return h.max
+	return s.Max
 }
 
 // Rate tracks a quantity accumulated over simulated time, reporting units
@@ -271,6 +351,10 @@ type Snapshot struct {
 	Gauges   map[string]float64
 	Means    map[string]float64 // histogram means
 	Rates    map[string]float64 // units per virtual second
+	// Histograms carries the full per-histogram snapshot (buckets,
+	// min/max, quantiles) for consumers that need more than the mean —
+	// the serving benchmark reports p50/p95/p99 from here.
+	Histograms map[string]HistogramSnapshot
 }
 
 // Snapshot copies all current values.
@@ -295,10 +379,11 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 
 	s := Snapshot{
-		Counters: make(map[string]int64, len(counters)),
-		Gauges:   make(map[string]float64, len(gauges)),
-		Means:    make(map[string]float64, len(hists)),
-		Rates:    make(map[string]float64, len(rates)),
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Means:      make(map[string]float64, len(hists)),
+		Rates:      make(map[string]float64, len(rates)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
 	}
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
@@ -307,7 +392,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = v.Value()
 	}
 	for k, v := range hists {
-		s.Means[k] = v.Mean()
+		hs := v.Snapshot()
+		s.Means[k] = hs.Mean()
+		s.Histograms[k] = hs
 	}
 	for k, v := range rates {
 		s.Rates[k] = v.PerSecond()

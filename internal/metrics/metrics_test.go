@@ -149,6 +149,106 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 	}
 }
 
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines
+// and checks that no observation is lost: the lock-free CAS/atomic design
+// must account for every Observe in count, sum, and the bucket totals.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, perG = 64, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(float64(1 + (g+j)%1024))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketTotal int64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != goroutines*perG {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, goroutines*perG)
+	}
+	if s.Min != 1 {
+		t.Errorf("Min = %g, want 1", s.Min)
+	}
+	if s.Max != 1024 {
+		t.Errorf("Max = %g, want 1024", s.Max)
+	}
+	// Every value was an integer in [1,1024], so the sum is exact in
+	// float64 and order-independent.
+	var want float64
+	for g := 0; g < goroutines; g++ {
+		for j := 0; j < perG; j++ {
+			want += float64(1 + (g+j)%1024)
+		}
+	}
+	if s.Sum != want {
+		t.Errorf("Sum = %g, want %g", s.Sum, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log2 bucket edges: bucket i holds
+// [2^(i-1), 2^i), bucket 0 holds everything below 1, and Quantile reports
+// the upper edge of the covering bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram()
+	// One observation exactly on each power-of-two edge 1,2,4,...,256.
+	for i := 0; i <= 8; i++ {
+		h.Observe(math.Pow(2, float64(i)))
+	}
+	s := h.Snapshot()
+	for i := 0; i <= 8; i++ {
+		// 2^i is the *inclusive lower* edge of bucket i+1.
+		if got := s.Buckets[i+1]; got != 1 {
+			t.Errorf("bucket %d = %d, want 1 (value %g)", i+1, got, math.Pow(2, float64(i)))
+		}
+	}
+	if got := s.Buckets[0]; got != 0 {
+		t.Errorf("bucket 0 = %d, want 0", got)
+	}
+	// Values just under an edge stay in the lower bucket.
+	h2 := NewHistogram()
+	h2.Observe(math.Nextafter(2, 0)) // 1.999... -> bucket 1
+	s2 := h2.Snapshot()
+	if s2.Buckets[1] != 1 {
+		t.Errorf("1.999... in bucket 1? counts=%v", s2.Buckets[:3])
+	}
+	// Quantile returns upper edges.
+	h3 := NewHistogram()
+	h3.Observe(3) // bucket 2: [2,4)
+	if got := h3.Quantile(0.5); got != 4 {
+		t.Errorf("Quantile(0.5) of {3} = %g, want upper edge 4", got)
+	}
+	if got := BucketUpperEdge(0); got != 1 {
+		t.Errorf("BucketUpperEdge(0) = %g, want 1", got)
+	}
+}
+
+func TestHistogramSnapshotIndependent(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	s := h.Snapshot()
+	h.Observe(500)
+	if s.Count != 1 || s.Max != 5 {
+		t.Errorf("snapshot mutated by later observes: %+v", s)
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Errorf("snapshot Quantile(1) = %g, want 8 (upper edge of [4,8))", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("live count = %d, want 2", h.Count())
+	}
+}
+
 func TestBucketFor(t *testing.T) {
 	tests := []struct {
 		v    float64

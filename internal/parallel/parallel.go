@@ -1,7 +1,10 @@
 // Package parallel is the simulator's shared worker-pool layer: bounded
 // goroutine fan-out with deterministic result ordering for the hot paths in
 // internal/crossbar (tiled MVM blocks), internal/dpe (batch inference,
-// layer programming), and internal/experiments (sweep points).
+// layer programming), and internal/experiments (sweep points). The
+// serving pipeline (internal/serve) rides the same pool: every
+// micro-batch it flushes fans out through dpe.Engine.InferBatch, so one
+// width knob governs both offline sweeps and online serving.
 //
 // The hardware this repository simulates is massively spatially parallel —
 // thousands of crossbar tiles compute matrix-vector products at once — so

@@ -1,0 +1,301 @@
+// Package serve is the request-level inference serving pipeline: it fans
+// millions of small, independent Infer calls into the fast batched kernels
+// underneath (dpe.Engine.InferBatch / dpe.Cluster.InferBatch), which is
+// where the Section VI throughput claims actually live. "Breaking
+// Barriers" (Crafton et al., PAPERS.md) makes the point sharply: CIM
+// throughput is dominated by array *utilization*, not raw array speed, and
+// a serial request stream leaves the crossbars idle between requests.
+//
+// The pipeline has three pieces:
+//
+//   - An adaptive micro-batcher (Server): requests enter a bounded ingress
+//     queue; a dispatcher drains it into batches, flushing when MaxBatch
+//     requests have accumulated or MaxDelay has elapsed since the batch
+//     opened — whichever comes first. Light load pays one deadline of extra
+//     latency at most; heavy load amortizes toward full batches.
+//   - Explicit backpressure: the ingress queue holds at most QueueBound
+//     requests. Past the high-water mark, Infer fails fast with
+//     ErrOverloaded instead of growing an unbounded queue — callers see the
+//     overload and can shed or retry, and memory stays bounded no matter
+//     the offered load.
+//   - Observability: per-request wall-clock latency lands in a lock-free
+//     metrics.Histogram (p50/p95/p99 via HistogramSnapshot.Quantile), and
+//     the simulated cost algebra (internal/energy) keeps running totals of
+//     virtual busy time and energy, so the benchmark in cmd/cimserve can
+//     report both wall-clock and simulated throughput.
+//
+// Zero-downtime weight updates are the fourth piece, in shadow.go: a
+// ShadowPair programs a standby engine while the live one keeps serving,
+// then swaps atomically — the write-asymmetry hiding of Section VI realized
+// as double-buffering at the serving layer. See docs/SERVING.md.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/metrics"
+)
+
+// Backend is the batched inference kernel the pipeline feeds. Both
+// *dpe.Engine and *dpe.Cluster (and *ShadowPair, which wraps two engines)
+// satisfy it.
+type Backend interface {
+	// InferBatch runs the batch, returning one output per input plus the
+	// simulated cost of the whole batch. It must be safe for the pipeline
+	// to call from its dispatcher goroutine while other goroutines read
+	// engine statistics.
+	InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error)
+}
+
+// ErrOverloaded is returned by Infer when the ingress queue is at its
+// high-water mark. The request was NOT enqueued; the caller owns the retry
+// policy. This is the backpressure contract: past QueueBound the server
+// sheds load instead of queueing without bound.
+var ErrOverloaded = errors.New("serve: ingress queue full (backpressure)")
+
+// ErrClosed is returned by Infer after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures a Server.
+type Config struct {
+	// MaxBatch is the flush threshold: a batch is dispatched as soon as
+	// it holds this many requests. Must be >= 1.
+	MaxBatch int
+	// MaxDelay is the flush deadline: an open batch is dispatched at most
+	// this long after its first request arrived, even if under-full.
+	// Must be > 0.
+	MaxDelay time.Duration
+	// QueueBound is the ingress queue's high-water mark: the maximum
+	// number of requests waiting for dispatch. Must be >= 1. Requests
+	// beyond it are rejected with ErrOverloaded.
+	QueueBound int
+	// Registry receives serving metrics. Nil selects a private registry
+	// (always safe; reachable via Server.Registry).
+	Registry *metrics.Registry
+}
+
+// Validate reports whether the configuration is usable. Like the
+// crossbar's ADCBits=0 rejection, degenerate serving parameters fail fast
+// at construction with a descriptive error instead of deadlocking or
+// spinning later.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxBatch < 1:
+		return fmt.Errorf("serve: MaxBatch must be >= 1, got %d (a batcher that never fills never flushes)", c.MaxBatch)
+	case c.MaxDelay <= 0:
+		return fmt.Errorf("serve: MaxDelay must be positive, got %v (a zero deadline would busy-spin the dispatcher)", c.MaxDelay)
+	case c.QueueBound < 1:
+		return fmt.Errorf("serve: QueueBound must be >= 1, got %d (a zero-length ingress queue rejects every request)", c.QueueBound)
+	}
+	return nil
+}
+
+// DefaultConfig returns a serving configuration tuned for the benchmark
+// workloads: batches up to 64, a 2ms flush deadline, and a 4096-deep
+// ingress queue.
+func DefaultConfig() Config {
+	return Config{MaxBatch: 64, MaxDelay: 2 * time.Millisecond, QueueBound: 4096}
+}
+
+// request is one enqueued inference.
+type request struct {
+	in    []float64
+	start time.Time
+	resp  chan response
+}
+
+// response carries the result back to the waiting caller.
+type response struct {
+	out  []float64
+	cost energy.Cost
+	err  error
+}
+
+// Server is the micro-batching inference frontend. Construct with New;
+// the zero value is not usable.
+type Server struct {
+	cfg     Config
+	backend Backend
+	reg     *metrics.Registry
+
+	// ingressMu guards the closed flag and the queue send against Close:
+	// Infer holds it shared while enqueueing; Close holds it exclusively
+	// while closing the channel, so no send can race the close.
+	ingressMu sync.RWMutex
+	closed    bool
+	queue     chan *request
+
+	dispatcherDone chan struct{}
+
+	// simPS accumulates the simulated latency of every flushed batch:
+	// the virtual time the device spent serving. Energy accumulates in
+	// the "serve.energy_pj" gauge.
+	simPS atomic.Int64
+}
+
+// New starts a server over backend. The dispatcher goroutine runs until
+// Close.
+func New(backend Backend, cfg Config) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:            cfg,
+		backend:        backend,
+		reg:            reg,
+		queue:          make(chan *request, cfg.QueueBound),
+		dispatcherDone: make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// SimTimePS returns the accumulated simulated serving time in picoseconds:
+// the sum of every flushed batch's critical-path latency. Requests per
+// simulated second is requests / (SimTimePS * 1e-12).
+func (s *Server) SimTimePS() int64 { return s.simPS.Load() }
+
+// Infer submits one inference and blocks until its batch completes. The
+// returned cost is the request's share of its batch: the full batch
+// latency (the request waited for the whole batch) and 1/n of the batch
+// energy. The caller must not mutate in until Infer returns.
+//
+// Infer fails fast with ErrOverloaded when the ingress queue is at its
+// bound and with ErrClosed after Close; both leave the request unqueued.
+func (s *Server) Infer(in []float64) ([]float64, energy.Cost, error) {
+	req := &request{in: in, start: time.Now(), resp: make(chan response, 1)}
+
+	s.ingressMu.RLock()
+	if s.closed {
+		s.ingressMu.RUnlock()
+		return nil, energy.Zero, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.ingressMu.RUnlock()
+	default:
+		s.ingressMu.RUnlock()
+		s.reg.Counter("serve.rejected").Inc()
+		return nil, energy.Zero, ErrOverloaded
+	}
+
+	r := <-req.resp
+	s.reg.Histogram("serve.latency_ns").Observe(float64(time.Since(req.start).Nanoseconds()))
+	if r.err != nil {
+		return nil, energy.Zero, r.err
+	}
+	return r.out, r.cost, nil
+}
+
+// Close stops accepting requests, drains everything already queued
+// (in-flight callers get real responses, not errors), and waits for the
+// dispatcher to exit. Close is idempotent.
+func (s *Server) Close() {
+	s.ingressMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.ingressMu.Unlock()
+	<-s.dispatcherDone
+}
+
+// dispatch is the batcher loop: block for the first request of a batch,
+// then collect until MaxBatch or MaxDelay, then flush.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := s.collect(first)
+		s.flush(batch)
+	}
+}
+
+// collect gathers a batch starting from first: it returns when MaxBatch
+// requests are in hand, when MaxDelay has elapsed since the batch opened,
+// or when the queue closes (draining flushes the remainder).
+func (s *Server) collect(first *request) []*request {
+	batch := make([]*request, 1, s.cfg.MaxBatch)
+	batch[0] = first
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush runs one batch through the backend and distributes results. A
+// batch-level error falls back to per-request execution so that one bad
+// request (wrong input length, say) cannot poison its batchmates: only the
+// offending request sees its error.
+func (s *Server) flush(batch []*request) {
+	inputs := make([][]float64, len(batch))
+	for i, req := range batch {
+		inputs[i] = req.in
+	}
+	outs, cost, err := s.backend.InferBatch(inputs)
+	if err != nil {
+		s.reg.Counter("serve.batch_errors").Inc()
+		s.flushIndividually(batch)
+		return
+	}
+	s.reg.Counter("serve.batches").Inc()
+	s.reg.Counter("serve.requests").Add(int64(len(batch)))
+	s.reg.Histogram("serve.batch_size").Observe(float64(len(batch)))
+	s.reg.Gauge("serve.energy_pj").Add(cost.EnergyPJ)
+	s.simPS.Add(cost.LatencyPS)
+	share := energy.Cost{LatencyPS: cost.LatencyPS, EnergyPJ: cost.EnergyPJ / float64(len(batch))}
+	for i, req := range batch {
+		req.resp <- response{out: outs[i], cost: share}
+	}
+}
+
+// flushIndividually retries a failed batch one request at a time,
+// isolating the poison pill. Healthy requests pay single-request batch
+// cost; failing ones get their own error.
+func (s *Server) flushIndividually(batch []*request) {
+	for _, req := range batch {
+		outs, cost, err := s.backend.InferBatch([][]float64{req.in})
+		if err != nil {
+			s.reg.Counter("serve.errors").Inc()
+			req.resp <- response{err: fmt.Errorf("serve: request failed: %w", err)}
+			continue
+		}
+		s.reg.Counter("serve.batches").Inc()
+		s.reg.Counter("serve.requests").Inc()
+		s.reg.Histogram("serve.batch_size").Observe(1)
+		s.reg.Gauge("serve.energy_pj").Add(cost.EnergyPJ)
+		s.simPS.Add(cost.LatencyPS)
+		req.resp <- response{out: outs[0], cost: cost}
+	}
+}

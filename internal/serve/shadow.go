@@ -1,0 +1,155 @@
+// Shadow-engine reprogramming: zero-downtime weight updates.
+//
+// Section VI names memristor write asymmetry — writes are orders of
+// magnitude slower than reads — as the scaling challenge, and proposes
+// hiding it behind ongoing computation. dpe.Engine.Reprogram(hide=true)
+// models that claim as a cost-algebra identity (visible latency collapses
+// to one buffer swap). ShadowPair *mechanizes* it: two engines, one live
+// and one standby; weight updates program the standby at full write cost
+// while the live engine keeps serving every request, then an atomic
+// pointer swap puts the new weights on the serving path. The only
+// reprogramming cost a request can ever observe is the swap itself.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cimrev/internal/dpe"
+	"cimrev/internal/energy"
+	"cimrev/internal/nn"
+)
+
+// guardedEngine pairs an engine with a reader/writer gate: inference holds
+// the read side, reprogramming holds the write side. The write side is
+// only ever taken on the standby engine, so the live path never blocks on
+// a writer — the gate exists to keep a *returning* standby (an engine that
+// was live moments ago and may still have in-flight batches) from being
+// programmed under a running inference.
+type guardedEngine struct {
+	mu  sync.RWMutex
+	eng *dpe.Engine
+}
+
+// ShadowPair is a double-buffered pair of DPE engines implementing
+// Backend. Inference always runs on the live engine; Reprogram programs
+// the standby and swaps. Both engines share one configuration and seed, so
+// the engine installed by a swap is bit-identical — outputs, noise stream,
+// and costs — to a fresh engine programmed with the new network.
+type ShadowPair struct {
+	cfg dpe.Config
+
+	// reprogramMu serializes Reprogram calls; swaps are rare and total
+	// ordering keeps the live/standby invariant trivial.
+	reprogramMu sync.Mutex
+	live        atomic.Pointer[guardedEngine]
+	standby     *guardedEngine
+
+	swaps atomic.Int64
+	// hiddenPS / hiddenPJ accumulate the full (off-critical-path) cost of
+	// every shadow reprogram, so the hidden work stays visible to the
+	// energy ledger even though no request ever waits for it.
+	hiddenPS atomic.Int64
+	hiddenPJ atomic.Uint64 // float64 bits, CAS-added
+}
+
+// NewShadowPair builds the pair and programs net into the live engine,
+// returning the initial programming cost. The standby engine is created
+// (same config and seed) but left unprogrammed until the first Reprogram.
+func NewShadowPair(cfg dpe.Config, net *nn.Network) (*ShadowPair, energy.Cost, error) {
+	liveEng, err := dpe.New(cfg)
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+	standbyEng, err := dpe.New(cfg)
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+	cost, err := liveEng.Load(net)
+	if err != nil {
+		return nil, energy.Zero, fmt.Errorf("serve: shadow pair initial load: %w", err)
+	}
+	p := &ShadowPair{cfg: cfg, standby: &guardedEngine{eng: standbyEng}}
+	p.live.Store(&guardedEngine{eng: liveEng})
+	return p, cost, nil
+}
+
+// Live returns the engine currently on the serving path. Useful for
+// statistics; do not program it.
+func (p *ShadowPair) Live() *dpe.Engine { return p.live.Load().eng }
+
+// Swaps returns how many reprogram-and-swap cycles have completed.
+func (p *ShadowPair) Swaps() int64 { return p.swaps.Load() }
+
+// HiddenCost returns the accumulated full cost of all shadow reprograms:
+// the write latency and energy that were paid off the critical path. The
+// energy ledger needs this; no request ever waited for it.
+func (p *ShadowPair) HiddenCost() energy.Cost {
+	return energy.Cost{
+		LatencyPS: p.hiddenPS.Load(),
+		EnergyPJ:  loadFloat(&p.hiddenPJ),
+	}
+}
+
+// InferBatch serves the batch from the live engine. It takes the engine's
+// read gate for the duration, so a subsequent swap cannot reprogram this
+// engine until the batch retires. Requests that race a swap may be served
+// by either weight version — the swap is the linearization point.
+func (p *ShadowPair) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	g := p.live.Load()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eng.InferBatch(inputs)
+}
+
+// Reprogram programs net into the standby engine at full write cost while
+// the live engine keeps serving, then atomically swaps the pair. It
+// returns the visible cost (one buffer-swap latency on the critical path,
+// but the full programming energy — energy is spent regardless of where
+// the latency hides) and the hidden cost (the full programming cost that
+// overlapped with serving).
+//
+// The standby is programmed with Load, not Reprogram: the swapped-in
+// engine is indistinguishable from a freshly constructed engine loaded
+// with net — its noise sequence restarts at zero — and the new network may
+// even have a different topology than the old one.
+func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err error) {
+	p.reprogramMu.Lock()
+	defer p.reprogramMu.Unlock()
+
+	sb := p.standby
+	// Wait out any batch still running on the standby from before the
+	// previous swap, then program it. The live engine serves throughout.
+	sb.mu.Lock()
+	cost, err := sb.eng.Load(net)
+	sb.mu.Unlock()
+	if err != nil {
+		return energy.Zero, energy.Zero, fmt.Errorf("serve: shadow reprogram: %w", err)
+	}
+
+	// Atomic swap: requests that load the pointer after this line run on
+	// the new weights. The old live engine becomes the next standby.
+	old := p.live.Swap(sb)
+	p.standby = old
+	p.swaps.Add(1)
+	p.hiddenPS.Add(cost.LatencyPS)
+	addFloat(&p.hiddenPJ, cost.EnergyPJ)
+
+	visible = energy.Cost{LatencyPS: energy.EDRAMAccessLatencyPS, EnergyPJ: cost.EnergyPJ}
+	return visible, cost, nil
+}
+
+// addFloat CAS-adds delta to the float64 stored as bits in cell.
+func addFloat(cell *atomic.Uint64, delta float64) {
+	for {
+		old := cell.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func loadFloat(cell *atomic.Uint64) float64 { return math.Float64frombits(cell.Load()) }
