@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve bench-fault cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -30,7 +30,10 @@ test:
 # so a -run filter or cached result can never silently skip them. The
 # third pins the serving-pipeline and memo single-flight concurrency
 # suites (micro-batcher, backpressure, shadow swaps at pool widths 1/4/16,
-# deduplicated concurrent memo Calls, lock-free histogram observes).
+# deduplicated concurrent memo Calls, lock-free histogram observes). The
+# fourth pins the device-fault subsystem: injection determinism,
+# program-and-verify + spare remapping, engine health scans and repairs,
+# and the serving-layer circuit breaker (docs/FAULTS.md).
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -39,6 +42,10 @@ race:
 	$(GO) test -race -count=1 \
 		-run 'Serve|Shadow|Backpressure|SingleFlight|HistogramConcurrent' \
 		./internal/serve/ ./internal/memo/ ./internal/metrics/
+	$(GO) test -race -count=1 \
+		-run 'Fault|Health|Repair|Breaker' \
+		./internal/faultinject/ ./internal/crossbar/ ./internal/dpe/ \
+		./internal/serve/ ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -61,6 +68,15 @@ bench-serve:
 		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 	@echo wrote BENCH_serve.json
 
+# Device-fault sweep artifact: the (stuck rate x spare budget) grid from
+# internal/experiments, emitted as benchmark lines and archived through
+# cmd/benchjson as BENCH_fault.json (accuracy, remap/lost counts, retry
+# pulses, programming energy in each result's extra map).
+bench-fault:
+	$(GO) run ./cmd/cimbench -exp fault -format bench \
+		| $(GO) run ./cmd/benchjson -out BENCH_fault.json
+	@echo wrote BENCH_fault.json
+
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.
 bench-smoke:
@@ -69,11 +85,13 @@ bench-smoke:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzzing pass over the wire-format parsers.
+# Short fuzzing pass over the wire-format parsers and the checksum layer.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=15s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/isa/
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=15s ./internal/isa/
+	$(GO) test -fuzz=FuzzSealOpen -fuzztime=15s ./internal/fault/
+	$(GO) test -fuzz=FuzzFlipBit -fuzztime=15s ./internal/fault/
 
 # Regenerate every paper table and figure.
 experiments:

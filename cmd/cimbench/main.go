@@ -6,10 +6,13 @@
 //
 //	cimbench                  # run everything
 //	cimbench -exp fig2        # one experiment: fig2, table1, table2,
-//	                          # secvi, scale, adc, noise, parallelism
+//	                          # secvi, scale, adc, noise, parallelism, fault
 //	cimbench -sizes 512,4096  # layer sizes for the Section VI sweep
 //	cimbench -parallel 8      # simulation worker-pool width (wall-clock
 //	                          # only; 1 = serial, 0 = GOMAXPROCS default)
+//	cimbench -exp fault -format bench
+//	                          # emit the fault sweep as benchmark result
+//	                          # lines for cmd/benchjson (make bench-fault)
 //
 // Simulated results are bit-identical at every -parallel width: the flag
 // only controls how many OS threads chew through the independent tiles,
@@ -33,14 +36,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism")
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
 	workers := flag.Int("parallel", 0, "simulation worker-pool width: N goroutines, 1 = serial, 0 = GOMAXPROCS (results are identical at any width)")
+	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault sweep only)")
 	flag.Parse()
 
 	parallel.SetWidth(*workers)
-	if err := run(*exp, *sizes, *boards); err != nil {
+	if err := run(*exp, *sizes, *boards, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "cimbench:", err)
 		os.Exit(1)
 	}
@@ -49,7 +53,13 @@ func main() {
 // formatter is the common shape of every experiment result.
 type formatter interface{ Format() string }
 
-func run(exp, sizeList, boardList string) error {
+// benchFault adapts a FaultResult so the generic job machinery prints its
+// benchmark-line rendering instead of the human table.
+type benchFault struct{ res *experiments.FaultResult }
+
+func (b benchFault) Format() string { return b.res.BenchFormat() }
+
+func run(exp, sizeList, boardList, format string) error {
 	sizes, err := parseInts(sizeList)
 	if err != nil {
 		return fmt.Errorf("parse -sizes: %w", err)
@@ -57,6 +67,12 @@ func run(exp, sizeList, boardList string) error {
 	boards, err := parseInts(boardList)
 	if err != nil {
 		return fmt.Errorf("parse -boards: %w", err)
+	}
+	if format != "text" && format != "bench" {
+		return fmt.Errorf("unknown format %q (want text or bench)", format)
+	}
+	if format == "bench" && exp != "fault" {
+		return fmt.Errorf("-format bench is only supported with -exp fault")
 	}
 
 	// The canonical experiment order. Each job is independent, so selected
@@ -76,6 +92,19 @@ func run(exp, sizeList, boardList string) error {
 		{"parallelism", func() (formatter, error) {
 			return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
 		}},
+		{"fault", func() (formatter, error) {
+			res, err := experiments.FaultSweep(
+				[]float64{0, 0.002, 0.005, 0.01, 0.02},
+				[]int{0, 4, 8, 16},
+			)
+			if err != nil {
+				return nil, err
+			}
+			if format == "bench" {
+				return benchFault{res}, nil
+			}
+			return res, nil
+		}},
 	}
 
 	selected := jobs[:0:0]
@@ -85,7 +114,7 @@ func run(exp, sizeList, boardList string) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault)", exp)
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {

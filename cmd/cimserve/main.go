@@ -23,9 +23,18 @@
 // batch line adds sim_speedup and wall_speedup versus the serial baseline,
 // and -reprogram > 0 exercises shadow-engine weight swaps mid-run to show
 // they cost the serving path nothing.
+//
+// Errors in batch mode are broken out by cause so the benchjson archive
+// distinguishes capacity problems from health problems (docs/FAULTS.md):
+// shed counts backpressure rejections (ErrOverloaded), unhealthy counts
+// requests refused by the tripped circuit breaker (ErrUnhealthy), and
+// reprogram_failed counts weight swaps that failed after the breaker's
+// retry budget. -stuck and -spares inject device faults to exercise these
+// paths; at the defaults (no faults) all three stay zero.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"cimrev/internal/dpe"
+	"cimrev/internal/faultinject"
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/serve"
@@ -56,6 +66,8 @@ type options struct {
 	layers    []int
 	seed      int64
 	reprogram int
+	stuck     float64
+	spares    int
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -95,6 +107,10 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -mode must be one of both|serial|batch, got %q", o.mode)
 	case o.reprogram < 0:
 		return fmt.Errorf("cimserve: -reprogram must be >= 0, got %d", o.reprogram)
+	case o.stuck < 0 || o.stuck >= 1:
+		return fmt.Errorf("cimserve: -stuck must be in [0, 1), got %g", o.stuck)
+	case o.spares < 0:
+		return fmt.Errorf("cimserve: -spares must be >= 0, got %d", o.spares)
 	}
 	return nil
 }
@@ -107,8 +123,14 @@ type runStats struct {
 	energyPJ float64
 	lat      metrics.HistogramSnapshot
 	swaps    int64
-	shed     int64
 	avgBatch float64
+
+	// Error breakdown by cause (batch mode): backpressure sheds, breaker
+	// sheds, and weight swaps that exhausted the breaker's retry budget.
+	shed            int64
+	unhealthy       int64
+	reprogramFailed int64
+	retries         int64
 }
 
 func (s runStats) wallReqPerSec() float64 {
@@ -137,6 +159,8 @@ func main() {
 	flag.StringVar(&layersFlag, "layers", "256,256,256,256,256,128,10", "8-bit MLP layer sizes")
 	flag.Int64Var(&o.seed, "seed", 1, "workload and engine seed")
 	flag.IntVar(&o.reprogram, "reprogram", 0, "shadow-engine weight swaps to perform mid-run (batch mode)")
+	flag.Float64Var(&o.stuck, "stuck", 0, "stuck-cell rate injected into every crossbar (split evenly GMin/GMax)")
+	flag.IntVar(&o.spares, "spares", 0, "spare columns per crossbar for fault remapping")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -164,6 +188,14 @@ func run(w io.Writer, o options) error {
 	// intact while skipping per-cycle ADC emulation.
 	cfg := dpe.DefaultConfig()
 	cfg.Seed = o.seed
+	if o.stuck > 0 {
+		cfg.Faults = faultinject.Model{
+			StuckLowRate:  o.stuck / 2,
+			StuckHighRate: o.stuck / 2,
+			Seed:          o.seed,
+		}
+		cfg.Crossbar.SpareCols = o.spares
+	}
 
 	rng := rand.New(rand.NewSource(o.seed))
 	net, err := nn.NewMLP("serve-mlp8", o.layers, rng)
@@ -200,8 +232,15 @@ func run(w io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		extra := map[string]float64{"avg_batch": batch.avgBatch, "swaps": float64(batch.swaps)}
-		order := []string{"avg_batch", "swaps"}
+		extra := map[string]float64{
+			"avg_batch":         batch.avgBatch,
+			"swaps":             float64(batch.swaps),
+			"shed":              float64(batch.shed),
+			"unhealthy":         float64(batch.unhealthy),
+			"reprogram_failed":  float64(batch.reprogramFailed),
+			"reprogram_retries": float64(batch.retries),
+		}
+		order := []string{"avg_batch", "swaps", "shed", "unhealthy", "reprogram_failed", "reprogram_retries"}
 		if o.mode == "both" {
 			if batch.simPS > 0 {
 				extra["sim_speedup"] = float64(serial.simPS) / float64(batch.simPS)
@@ -278,14 +317,32 @@ func runSerial(cfg dpe.Config, net *nn.Network, inputs [][]float64, o options) (
 }
 
 // runBatch measures the pipeline: the same closed-loop clients submit to
-// the micro-batching server over a shadow pair, with optional mid-run
-// weight swaps.
+// the micro-batching server over a health-gated shadow pair, with optional
+// mid-run weight swaps. Request failures are classified by cause rather
+// than collapsed into one count: backpressure (ErrOverloaded) retries,
+// breaker sheds (ErrUnhealthy) abandon the request, anything else aborts
+// the run.
 func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options) (runStats, error) {
 	pair, _, err := serve.NewShadowPair(cfg, net)
 	if err != nil {
 		return runStats{}, err
 	}
-	srv, err := serve.New(pair, serve.Config{
+	// The breaker sits between the micro-batcher and the shadow pair. With
+	// no faults injected it is transparent; with -stuck past the spare
+	// budget, failed swaps trip it and subsequent requests shed with
+	// ErrUnhealthy instead of silently serving degraded weights.
+	breg := metrics.NewRegistry()
+	brk, err := serve.NewBreaker(pair, serve.BreakerConfig{
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Seed:        o.seed,
+		Registry:    breg,
+	})
+	if err != nil {
+		return runStats{}, err
+	}
+	srv, err := serve.New(brk, serve.Config{
 		MaxBatch:   o.batch,
 		MaxDelay:   o.deadline,
 		QueueBound: o.queue,
@@ -294,7 +351,7 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		return runStats{}, err
 	}
 
-	var issued, shed atomic.Int64
+	var issued, shed, unhealthy, reprogramFailed atomic.Int64
 	var energyBits atomic.Uint64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
@@ -311,13 +368,20 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 				}
 				for {
 					_, cost, err := srv.Infer(inputs[int(i)%len(inputs)])
-					if err == serve.ErrOverloaded {
+					if errors.Is(err, serve.ErrOverloaded) {
 						// Closed-loop clients with queue >= clients should
 						// never see this; count and retry so the bench
 						// still completes if tuned otherwise.
 						shed.Add(1)
 						time.Sleep(50 * time.Microsecond)
 						continue
+					}
+					if errors.Is(err, serve.ErrUnhealthy) {
+						// Breaker open: the request is refused, not queued.
+						// Count it and move on — the closed loop keeps
+						// running so the shed rate is measured, not fatal.
+						unhealthy.Add(1)
+						break
 					}
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
@@ -331,8 +395,9 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 	}
 
 	// Shadow swaps spread across the run: reprogramming must cost the
-	// serving path nothing but the buffer swap.
-	var swapErr error
+	// serving path nothing but the buffer swap. A swap that fails after the
+	// breaker's retry budget is counted, not fatal — the breakdown in the
+	// bench output is the measurement.
 	if o.reprogram > 0 {
 		interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
 		if interval < 2*time.Millisecond {
@@ -344,9 +409,8 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 			if k%2 == 1 {
 				target = net
 			}
-			if _, _, err := pair.Reprogram(target); err != nil {
-				swapErr = err
-				break
+			if _, _, err := brk.Reprogram(target); err != nil {
+				reprogramFailed.Add(1)
 			}
 		}
 	}
@@ -357,19 +421,19 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return runStats{}, err
 	}
-	if swapErr != nil {
-		return runStats{}, swapErr
-	}
 
 	snap := srv.Registry().Snapshot()
 	st := runStats{
-		requests: o.requests,
-		wall:     wall,
-		simPS:    srv.SimTimePS(),
-		energyPJ: loadEnergy(&energyBits),
-		lat:      snap.Histograms["serve.latency_ns"],
-		swaps:    pair.Swaps(),
-		shed:     shed.Load(),
+		requests:        o.requests,
+		wall:            wall,
+		simPS:           srv.SimTimePS(),
+		energyPJ:        loadEnergy(&energyBits),
+		lat:             snap.Histograms["serve.latency_ns"],
+		swaps:           pair.Swaps(),
+		shed:            shed.Load(),
+		unhealthy:       unhealthy.Load(),
+		reprogramFailed: reprogramFailed.Load(),
+		retries:         breg.Counter("serve.reprogram_retries").Value(),
 	}
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
 	return st, nil
@@ -401,9 +465,11 @@ func summary(w io.Writer, o options, serial, batch runStats) {
 			serial.wallReqPerSec(), serial.simReqPerSec(), time.Duration(serial.lat.Quantile(0.99)))
 	}
 	if batch.requests > 0 {
-		fmt.Fprintf(w, "  batch:  %8.1f req/s wall   %10.4g req/s simulated   p99 %s   avg batch %.1f   swaps %d   shed %d\n",
+		fmt.Fprintf(w, "  batch:  %8.1f req/s wall   %10.4g req/s simulated   p99 %s   avg batch %.1f   swaps %d\n",
 			batch.wallReqPerSec(), batch.simReqPerSec(), time.Duration(batch.lat.Quantile(0.99)),
-			batch.avgBatch, batch.swaps, batch.shed)
+			batch.avgBatch, batch.swaps)
+		fmt.Fprintf(w, "  errors: shed %d   unhealthy %d   reprogram failed %d (retries %d)\n",
+			batch.shed, batch.unhealthy, batch.reprogramFailed, batch.retries)
 	}
 	if serial.requests > 0 && batch.simPS > 0 {
 		fmt.Fprintf(w, "  simulated speedup: %.2fx   wall speedup: %.2fx\n",

@@ -39,6 +39,9 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *options) { o.queue = o.clients - 1 },
 		func(o *options) { o.mode = "turbo" },
 		func(o *options) { o.reprogram = -1 },
+		func(o *options) { o.stuck = -0.1 },
+		func(o *options) { o.stuck = 1 },
+		func(o *options) { o.spares = -1 },
 	}
 	for i, m := range mut {
 		o := good
@@ -75,6 +78,7 @@ func TestRunEndToEnd(t *testing.T) {
 		"ns/op", "req_per_s", "sim_req_per_s",
 		"p50_ns", "p95_ns", "p99_ns", "pj_per_req",
 		"avg_batch", "swaps", "sim_speedup", "wall_speedup",
+		"shed", "unhealthy", "reprogram_failed", "reprogram_retries",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -85,5 +89,48 @@ func TestRunEndToEnd(t *testing.T) {
 		if strings.HasPrefix(line, "BenchmarkServe/") && !strings.Contains(line, " 32 ") {
 			t.Errorf("result line missing iteration count 32: %q", line)
 		}
+	}
+	// Fault-free runs report a clean error breakdown.
+	for _, zero := range []string{"0 shed", "0 unhealthy", "0 reprogram_failed", "0 reprogram_retries"} {
+		if !strings.Contains(out, zero) {
+			t.Errorf("fault-free run missing %q:\n%s", zero, out)
+		}
+	}
+}
+
+// TestRunUnhealthySheds injects stuck cells past the (empty) spare budget
+// and requests a swap: the standby cannot be repaired, the breaker trips,
+// and the error breakdown shows unhealthy sheds and the failed reprogram —
+// but the run itself completes.
+func TestRunUnhealthySheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	o := options{
+		clients:   4,
+		requests:  4096, // long enough that the loop outlasts the swap retries
+		batch:     4,
+		deadline:  time.Millisecond,
+		queue:     64,
+		mode:      "batch",
+		layers:    []int{32, 24, 10},
+		seed:      7,
+		reprogram: 1,
+		stuck:     0.05,
+		spares:    0,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1 reprogram_failed") {
+		t.Errorf("failed swap not counted:\n%s", out)
+	}
+	if strings.Contains(out, " 0 unhealthy") {
+		t.Errorf("tripped breaker shed no requests:\n%s", out)
+	}
+	if !strings.Contains(out, "0 swaps") {
+		t.Errorf("unhealthy standby must not be swapped in:\n%s", out)
 	}
 }

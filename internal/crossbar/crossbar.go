@@ -54,6 +54,7 @@ import (
 	"sync"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/faultinject"
 	"cimrev/internal/noise"
 )
 
@@ -88,6 +89,12 @@ type Config struct {
 	// benchmark sweeps use it; accuracy studies keep the default
 	// bit-serial mode.
 	Functional bool
+	// SpareCols is the number of spare physical columns held in reserve
+	// beyond Cols for fault repair: when device-fault injection is active
+	// (SetFaults), the post-program self-test remaps logical columns with
+	// unrepairable cells onto spares. With no fault model the spares are
+	// inert. Zero disables remapping.
+	SpareCols int
 }
 
 // DefaultConfig returns the ISAAC-scale configuration: 128x128 arrays,
@@ -121,6 +128,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("crossbar: ADCBits must be in [1,16], got %d (an ADC needs at least one bit; 0 would collapse the quantization step)", c.ADCBits)
 	case c.ReadNoise < 0:
 		return fmt.Errorf("crossbar: ReadNoise must be non-negative, got %g", c.ReadNoise)
+	case c.SpareCols < 0:
+		return fmt.Errorf("crossbar: SpareCols must be non-negative, got %d", c.SpareCols)
 	}
 	return nil
 }
@@ -183,10 +192,21 @@ type Crossbar struct {
 	// inputBit + slice*CellBits.
 	scaleTab []float64
 
-	// writes counts cell programming operations (wear).
+	// writes counts cell programming operations (wear). With fault
+	// injection active it counts real program pulses, including every
+	// program-and-verify retry — repairs are never free.
 	writes int64
 
 	programmed bool
+
+	// faults / faultSrc configure device-fault injection (SetFaults).
+	// faultEpoch counts Program passes so transient write-failure draws
+	// re-roll per pass while permanent faults stay pinned to positions.
+	// faultReport is the blast-radius record of the latest Program.
+	faults      faultinject.Model
+	faultSrc    noise.Source
+	faultEpoch  uint64
+	faultReport faultinject.Report
 
 	// scratch pools *mvmScratch so concurrent MVMs on one crossbar don't
 	// contend on a shared buffer and steady-state MVMs don't allocate.
@@ -233,6 +253,36 @@ func (x *Crossbar) Writes() int64 { return x.writes }
 // back to the caller's range.
 func (x *Crossbar) WeightScale() float64 { return x.wScale }
 
+// SetFaults installs a device-fault model, effective from the next Program
+// pass. src keys every fault decision positionally (see internal/faultinject);
+// tiles derive one child per block so sweeps stay bit-identical at any
+// worker-pool width. Passing a zero Model disables injection. Installing an
+// enabled model requires a valid source.
+func (x *Crossbar) SetFaults(m faultinject.Model, src noise.Source) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Enabled() && !src.Valid() {
+		return fmt.Errorf("crossbar: enabled fault model requires a fault source")
+	}
+	x.faults = m
+	x.faultSrc = src
+	return nil
+}
+
+// FaultsEnabled reports whether device-fault injection is active.
+func (x *Crossbar) FaultsEnabled() bool { return x.faults.Enabled() }
+
+// FaultReport returns the fault-handling record of the most recent Program
+// pass: stuck/drifting cells encountered, retry pulses charged, columns
+// remapped to spares, and columns lost past spare exhaustion. Zero when
+// fault injection is disabled or before Program.
+func (x *Crossbar) FaultReport() faultinject.Report { return x.faultReport }
+
+// FaultEpoch returns how many Program passes have run with fault injection
+// active (the endurance clock the drift model compounds against).
+func (x *Crossbar) FaultEpoch() uint64 { return x.faultEpoch }
+
 // Program loads the weight matrix w (w[r][c], at most Rows x Cols). Weights
 // may be any finite values; the crossbar normalizes by max |w|. Shape and
 // finiteness are validated before any crossbar state changes. It returns
@@ -277,11 +327,24 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 			sl[i] = 0
 		}
 	}
+	faulty := x.faults.Enabled()
+	// wIntT holds the desired quantized integer weight per cell,
+	// column-major — the reference pattern program-and-verify checks the
+	// stored levels against. Only materialized on the fault path; the
+	// fault-free path writes slice levels directly, exactly as before.
+	var wIntT []int32
+	if faulty {
+		wIntT = make([]int32, cols*len(w))
+	}
 	for r := 0; r < len(w); r++ {
 		for c := 0; c < cols; c++ {
 			w01 := (w[r][c]/wScale + 1) / 2 // shift encode into [0,1]
 			wInt := int(math.Round(w01 * wMax))
 			x.colSumInt[c] += int64(wInt)
+			if faulty {
+				wIntT[c*len(w)+r] = int32(wInt)
+				continue
+			}
 			for s := 0; s < x.numSlices; s++ {
 				shift := uint(s * x.cfg.CellBits)
 				x.sliceT[s][c*x.cfg.Rows+r] = uint8(wInt>>shift) & cellMask
@@ -290,6 +353,17 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 	}
 	x.usedRows, x.usedCols = len(w), cols
 	x.wScale = wScale
+
+	// Device-fault path: per-cell program-and-verify with escalating
+	// retry pulses, then the built-in self-test scan and spare-column
+	// remapping. Fills sliceT with the *stored* (possibly faulty) levels;
+	// colSumInt keeps the intended sums — the digital backend removes the
+	// offset it programmed, and any analog deviation from stuck or
+	// drifting cells shows up as output error, exactly like hardware.
+	var pulses, verifies int64
+	if faulty {
+		pulses, verifies = x.programAndVerify(wIntT, cellMask)
+	}
 
 	// Pack slice levels into 16-bit lanes when they fit (≤4 slices and no
 	// possible lane overflow): the bit-serial kernel then gathers each
@@ -327,11 +401,190 @@ func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
 	x.programmed = true
 
 	cells := int64(len(w)) * int64(cols) * int64(x.numSlices)
+	if faulty {
+		// Program-and-verify cost: every pulse is a real memristor write
+		// and every verify a real read-back — retries and spare-column
+		// reprogramming are charged, never free. Latency: rows write in
+		// parallel across columns but serially row by row, each row wave
+		// now followed by its verify read; every retry pulse and every
+		// spare-column pulse beyond the base grid serializes on top.
+		x.faultEpoch++
+		x.writes += pulses
+		extraPulses := pulses - cells
+		extraVerifies := verifies - cells
+		return energy.Cost{
+			LatencyPS: int64(len(w))*(energy.CrossbarWriteLatencyPS+energy.CrossbarReadLatencyPS) +
+				extraPulses*energy.CrossbarWriteLatencyPS +
+				extraVerifies*energy.CrossbarReadLatencyPS,
+			EnergyPJ: float64(pulses)*energy.CrossbarWriteEnergyPJ +
+				float64(verifies)*energy.CrossbarCellReadEnergyPJ,
+		}, nil
+	}
+	x.faultReport = faultinject.Report{}
 	x.writes += cells
 	return energy.Cost{
 		LatencyPS: int64(len(w)) * energy.CrossbarWriteLatencyPS,
 		EnergyPJ:  float64(cells) * energy.CrossbarWriteEnergyPJ,
 	}, nil
+}
+
+// maxPulseTrains bounds the program-and-verify loop: one initial pulse,
+// then escalating retry trains of 2, 4, 8, 16, and 32 pulses (63 pulses
+// total) before the controller gives up on a cell. Escalation mirrors real
+// RRAM program-and-verify controllers, which raise pulse count/amplitude
+// on each failed verify.
+const maxPulseTrains = 6
+
+// programAndVerify simulates the honest write loop for every cell of the
+// desired pattern wIntT (column-major, usedRows stride), then runs the
+// built-in self-test and spare-column remapping:
+//
+//   - Each physical cell is erased and programmed with an escalating
+//     pulse train; after each train a verify read compares the stored
+//     level against the known desired level. Transient pulse failures
+//     (faultinject.PulseFails) retry; stuck cells never verify.
+//   - The BIST scan is exactly that per-cell verify against the known
+//     written pattern (equivalent to marching test vectors over the
+//     column): a column with any unverified cell is bad.
+//   - Bad logical columns remap to spare physical columns (Config.
+//     SpareCols), which are themselves programmed-and-verified — a bad
+//     spare is consumed and skipped. When spares run out the column is
+//     lost: its corrupted stored levels stay visible to MVM and the
+//     report says so (degradation is never silent).
+//
+// Stored levels land in sliceT at the *logical* column slot (the remap is
+// resolved at program time, so the MVM kernels run unmodified), and
+// endurance drift attenuates verified levels after the fact — drift is a
+// retention effect the write verify cannot see. Returns total pulses and
+// verify reads for the cost ledger; the blast-radius record lands in
+// x.faultReport.
+// cellPos packs a physical cell coordinate (bit-slice, physical column,
+// row) into the fault-stream index. The packing is bit-field, not
+// stride-based, so a cell's fault draws depend only on its coordinate —
+// never on the array's column count or spare budget. That makes sweeps
+// over Config.SpareCols apples-to-apples: growing the budget adds spare
+// columns with their own faults but cannot move the faults already pinned
+// to the primary grid. 20-bit fields bound rows and physical columns at
+// 2^20, far beyond any simulated array.
+func cellPos(s, phys, r int) uint64 {
+	return uint64(s)<<40 | uint64(phys)<<20 | uint64(r)
+}
+
+func (x *Crossbar) programAndVerify(wIntT []int32, cellMask uint8) (pulses, verifies int64) {
+	rows := x.usedRows
+	physCols := x.cfg.Cols + x.cfg.SpareCols
+	rep := faultinject.Report{}
+	// stored holds one candidate physical column's levels, slice-major
+	// (s*rows + r), before being committed to the logical slot.
+	stored := make([]uint8, x.numSlices*rows)
+
+	// programColumn simulates programming the desired logical pattern
+	// into physical column phys, returning whether every cell verified.
+	programColumn := func(c, phys int) bool {
+		ok := true
+		for s := 0; s < x.numSlices; s++ {
+			shift := uint(s * x.cfg.CellBits)
+			for r := 0; r < rows; r++ {
+				want := uint8(wIntT[c*rows+r]>>shift) & cellMask
+				pos := cellPos(s, phys, r)
+				fault := x.faults.Cell(x.faultSrc, pos)
+				var level uint8
+				cellOK := false
+				switch fault {
+				case faultinject.StuckLow:
+					rep.StuckCells++
+					level = 0
+					cellOK = want == 0
+				case faultinject.StuckHigh:
+					rep.StuckCells++
+					level = cellMask
+					cellOK = want == cellMask
+				default:
+					if fault == faultinject.Drifter {
+						rep.DriftCells++
+					}
+					// The cell starts from its erased (level-0) state; a
+					// train settles it iff any pulse in the train lands.
+					level = 0
+					cellOK = want == 0
+				}
+				var pulse uint64
+				train := 1
+				for t := 0; t < maxPulseTrains; t++ {
+					for p := 0; p < train; p++ {
+						if fault == faultinject.None || fault == faultinject.Drifter {
+							if !x.faults.PulseFails(x.faultSrc, pos, x.faultEpoch, pulse) {
+								level = want
+							}
+						}
+						pulse++
+					}
+					verifies++
+					if level == want {
+						cellOK = true
+					}
+					if cellOK {
+						break
+					}
+					train *= 2
+				}
+				pulses += int64(pulse)
+				rep.RetryPulses += int64(pulse) - 1
+				if !cellOK {
+					ok = false
+				}
+				// Endurance drift: verified analog levels relax after the
+				// write settles, compounding per program epoch. The verify
+				// loop cannot see it — only a later health scan can.
+				if fault == faultinject.Drifter && cellOK && level > 0 {
+					f := x.faults.DriftFactor(x.faultSrc, pos, x.faultEpoch+1)
+					level = uint8(math.Round(float64(level) * f))
+				}
+				stored[s*rows+r] = level
+			}
+		}
+		return ok
+	}
+
+	commit := func(c int) {
+		for s := 0; s < x.numSlices; s++ {
+			copy(x.sliceT[s][c*x.cfg.Rows:c*x.cfg.Rows+rows], stored[s*rows:(s+1)*rows])
+		}
+	}
+
+	spareNext := x.cfg.Cols // next unconsumed spare physical column
+	for c := 0; c < x.usedCols; c++ {
+		phys := c
+		for {
+			ok := programColumn(c, phys)
+			if ok {
+				if phys != c {
+					rep.RemappedCols++
+				}
+				commit(c)
+				break
+			}
+			if spareNext >= physCols {
+				// Spare budget exhausted: the column is lost. Commit the
+				// corrupted levels — the degradation is visible in every
+				// MVM — and report it.
+				if phys != c {
+					rep.BadSpares++
+				}
+				rep.LostCols++
+				commit(c)
+				break
+			}
+			if phys != c {
+				rep.BadSpares++
+			}
+			phys = spareNext
+			spareNext++
+			rep.SparesUsed++
+		}
+	}
+	x.faultReport = rep
+	return pulses, verifies
 }
 
 // MVM computes y = W · input over the programmed submatrix through the full

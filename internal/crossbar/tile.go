@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cimrev/internal/energy"
+	"cimrev/internal/faultinject"
 	"cimrev/internal/noise"
 	"cimrev/internal/parallel"
 )
@@ -35,6 +36,12 @@ type Tile struct {
 	// pastWrites preserves wear from arrays discarded by a reshaping
 	// reprogram, so lifetime write counts survive reconfiguration.
 	pastWrites int64
+	// faults / faultSrc configure device-fault injection for every block:
+	// block b derives the child source faultSrc.Derive(b), so fault
+	// positions are a pure function of (tile source, block, cell) and
+	// parallel block programming is bit-identical to serial.
+	faults   faultinject.Model
+	faultSrc noise.Source
 	// scratch pools per-MVM block outputs and costs so steady-state tile
 	// MVMs stop allocating a slab per call. Pooled (not a plain field)
 	// because a programmed tile may serve concurrent MVMs.
@@ -74,6 +81,37 @@ func (t *Tile) BlockGrid() (brows, bcols int) {
 func (t *Tile) CrossbarCount() int {
 	br, bc := t.BlockGrid()
 	return br * bc
+}
+
+// SetFaults installs a device-fault model for every block of the tile,
+// effective from the next Program. Each block derives its own child fault
+// source by block index, so which cells are stuck never depends on pool
+// width or programming order. A zero model disables injection.
+func (t *Tile) SetFaults(m faultinject.Model, src noise.Source) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Enabled() && !src.Valid() {
+		return fmt.Errorf("crossbar: enabled fault model requires a fault source")
+	}
+	t.faults = m
+	t.faultSrc = src
+	return nil
+}
+
+// FaultsEnabled reports whether device-fault injection is active.
+func (t *Tile) FaultsEnabled() bool { return t.faults.Enabled() }
+
+// FaultReport aggregates the per-block fault reports of the most recent
+// Program pass in fixed (block-row, block-col) order.
+func (t *Tile) FaultReport() faultinject.Report {
+	var rep faultinject.Report
+	for _, row := range t.blocks {
+		for _, b := range row {
+			rep.Add(b.FaultReport())
+		}
+	}
+	return rep
 }
 
 // Writes returns total lifetime cell-programming operations, including
@@ -148,6 +186,17 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 				return err
 			}
 			t.blocks[br][bc] = xb
+		}
+		// (Re)install the fault model before programming: block b keys
+		// its faults off the derived child source, so stuck positions are
+		// stable across reprograms and pool widths. Idempotent when the
+		// model is unchanged; a zero model is a disable.
+		bsrc := NoNoise
+		if t.faultSrc.Valid() {
+			bsrc = t.faultSrc.Derive(uint64(b))
+		}
+		if err := xb.SetFaults(t.faults, bsrc); err != nil {
+			return fmt.Errorf("crossbar: block (%d,%d) faults: %w", br, bc, err)
 		}
 		c, err := xb.Program(sub)
 		if err != nil {

@@ -4,6 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"cimrev/internal/faultinject"
+	"cimrev/internal/noise"
 )
 
 func randomMatrix(rng *rand.Rand, m, n int) [][]float64 {
@@ -249,6 +252,88 @@ func TestTileWearSurvivesReshape(t *testing.T) {
 	after := tile.Writes()
 	if after <= before {
 		t.Errorf("reshape lost wear history: %d -> %d", before, after)
+	}
+}
+
+// TestTileWearExactAcrossReshape pins the wear bookkeeping to the cell: a
+// reshape retires the old arrays into pastWrites and the new shape adds
+// exactly cells*slices fresh writes — no wear is double-counted and none
+// evaporates, in either direction (shrink then regrow).
+func TestTileWearExactAcrossReshape(t *testing.T) {
+	tile, err := NewTile(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices := int64(tile.Config().slices())
+	rng := rand.New(rand.NewSource(6))
+
+	if _, err := tile.Program(randomMatrix(rng, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	w1 := tile.Writes()
+	if want := int64(8*8) * slices; w1 != want {
+		t.Fatalf("writes after first program = %d, want %d", w1, want)
+	}
+
+	// Shrink: old 8x8 arrays retire, fresh 4x4 arrays are written.
+	if _, err := tile.Program(randomMatrix(rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	w2 := tile.Writes()
+	if want := w1 + int64(4*4)*slices; w2 != want {
+		t.Fatalf("writes after shrink = %d, want %d", w2, want)
+	}
+
+	// Regrow: wear from both retired generations stays on the books.
+	if _, err := tile.Program(randomMatrix(rng, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tile.Writes(), w2+int64(8*8)*slices; got != want {
+		t.Fatalf("writes after regrow = %d, want %d", got, want)
+	}
+}
+
+// TestTileWearSurvivesReshapeWithFaults runs the same retire-and-regrow
+// cycle with fault injection active: retry pulses from program-and-verify
+// are real wear, so lifetime Writes must stay strictly monotone across a
+// reshape and exceed the fault-free count for the same shapes.
+func TestTileWearSurvivesReshapeWithFaults(t *testing.T) {
+	cfg := smallConfig()
+	tile, err := NewTile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tile.SetFaults(faultinject.Model{WriteFailRate: 0.3, Seed: 9}, noise.NewSource(9)); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewTile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	w := randomMatrix(rng, 8, 8)
+	if _, err := tile.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	faulty := tile.Writes()
+	if faulty <= clean.Writes() {
+		t.Fatalf("faulty writes %d not above clean %d: retry pulses uncounted", faulty, clean.Writes())
+	}
+
+	// Reshape under faults: retired wear (including retries) is preserved.
+	if _, err := tile.Program(randomMatrix(rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	after := tile.Writes()
+	if after <= faulty {
+		t.Fatalf("reshape lost retry wear: %d -> %d", faulty, after)
+	}
+	if min := faulty + int64(4*4)*int64(cfg.slices()); after < min {
+		t.Fatalf("writes after faulty reshape = %d, want >= %d", after, min)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"cimrev/internal/crossbar"
 	"cimrev/internal/energy"
+	"cimrev/internal/faultinject"
 	"cimrev/internal/nn"
 	"cimrev/internal/noise"
 	"cimrev/internal/parallel"
@@ -43,6 +44,14 @@ type Config struct {
 	ConvReplicas int
 	// Seed drives analog noise.
 	Seed int64
+	// Faults configures device-fault injection (stuck cells, endurance
+	// drift, transient write failures) across every crossbar in the
+	// engine. The zero model disables injection entirely; see
+	// internal/faultinject and docs/FAULTS.md. Stage i derives fault
+	// child i of the model's root source, and tiles derive one
+	// grandchild per block, so fault positions are stable at any
+	// worker-pool width.
+	Faults faultinject.Model
 }
 
 // DefaultConfig returns ISAAC-scale arrays in functional-simulation mode
@@ -57,6 +66,9 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.ConvReplicas <= 0 {
 		return fmt.Errorf("dpe: ConvReplicas must be positive, got %d", c.ConvReplicas)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("dpe: %w", err)
 	}
 	return c.Crossbar.Validate()
 }
@@ -74,10 +86,13 @@ type stage struct {
 
 // Engine is a programmed Dot Product Engine.
 type Engine struct {
-	cfg    Config
-	src    noise.Source
-	net    *nn.Network
-	stages []stage
+	cfg Config
+	src noise.Source
+	// faultSrc is the root of the engine's fault-source tree (valid only
+	// when cfg.Faults is enabled); stage i's tile derives child i.
+	faultSrc noise.Source
+	net      *nn.Network
+	stages   []stage
 
 	programCost energy.Cost
 	// inferences counts completed inferences. It is atomic because
@@ -97,7 +112,11 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, src: noise.NewSource(cfg.Seed)}, nil
+	e := &Engine{cfg: cfg, src: noise.NewSource(cfg.Seed)}
+	if cfg.Faults.Enabled() {
+		e.faultSrc = cfg.Faults.Root()
+	}
+	return e, nil
 }
 
 // Network returns the loaded network (nil before Load).
@@ -150,7 +169,7 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 		s := stage{layer: layer}
 		switch l := layer.(type) {
 		case *nn.Dense:
-			tile, err := crossbar.NewTile(e.cfg.Crossbar)
+			tile, err := e.stageTile(i)
 			if err != nil {
 				return err
 			}
@@ -161,7 +180,7 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 			costs[i] = cost
 			s.tile, s.dense = tile, l
 		case *nn.Conv2D:
-			tile, err := crossbar.NewTile(e.cfg.Crossbar)
+			tile, err := e.stageTile(i)
 			if err != nil {
 				return err
 			}

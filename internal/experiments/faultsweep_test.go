@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cimrev/internal/parallel"
+)
+
+// TestFaultSweepRegimes pins the three regimes the sweep exists to show:
+// zero rate reproduces the fault-free pipeline; a moderate rate within a
+// generous spare budget remaps without losing columns or accuracy floor;
+// the same rate with no spares loses columns and reports it.
+func TestFaultSweepRegimes(t *testing.T) {
+	res, err := FaultSweep([]float64{0, 0.01}, []int{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	byPoint := map[[2]int]FaultRow{}
+	for _, row := range res.Rows {
+		key := [2]int{0, row.SpareCols}
+		if row.StuckRate > 0 {
+			key[0] = 1
+		}
+		byPoint[key] = row
+	}
+
+	for _, sp := range []int{0, 16} {
+		clean := byPoint[[2]int{0, sp}]
+		if clean.StuckCells != 0 || clean.RemappedCols != 0 || clean.LostCols != 0 || clean.RetryPulses != 0 {
+			t.Fatalf("zero-rate row reports faults: %+v", clean)
+		}
+		if clean.Accuracy != clean.SoftwareAccuracy && clean.Accuracy < 0.5 {
+			t.Fatalf("zero-rate accuracy collapsed: %+v", clean)
+		}
+	}
+	// Fault-free pipeline identical regardless of spare budget.
+	if byPoint[[2]int{0, 0}].Accuracy != byPoint[[2]int{0, 16}].Accuracy {
+		t.Fatal("spare budget changed the fault-free pipeline")
+	}
+
+	spared := byPoint[[2]int{1, 16}]
+	if spared.StuckCells == 0 {
+		t.Fatalf("1%% stuck rate found no cells: %+v", spared)
+	}
+	if spared.LostCols != 0 {
+		t.Fatalf("spare budget 16 exhausted at 1%%: %+v", spared)
+	}
+	// Remapped columns and verified programming mean the deployed weights
+	// are exactly the intended ones: accuracy matches the clean pipeline.
+	if spared.Accuracy != byPoint[[2]int{0, 16}].Accuracy {
+		t.Fatalf("remapped accuracy %g != clean %g", spared.Accuracy, byPoint[[2]int{0, 16}].Accuracy)
+	}
+	if spared.ProgramEnergyPJ <= byPoint[[2]int{0, 16}].ProgramEnergyPJ {
+		t.Fatal("verification and remapping charged nothing")
+	}
+
+	bare := byPoint[[2]int{1, 0}]
+	if bare.LostCols == 0 {
+		t.Fatalf("1%% stuck rate with no spares lost nothing: %+v", bare)
+	}
+	// Inference cost is untouched by faults: remapping happens at
+	// programming time.
+	if bare.InferLatencyPS != clean0(byPoint).InferLatencyPS ||
+		bare.InferEnergyPJ != clean0(byPoint).InferEnergyPJ {
+		t.Fatalf("fault injection changed inference cost: %+v vs %+v", bare, clean0(byPoint))
+	}
+}
+
+func clean0(m map[[2]int]FaultRow) FaultRow { return m[[2]int{0, 0}] }
+
+// TestFaultSweepParallelEquivalence pins sweep determinism: identical rows
+// — accuracy, remap counts, energies — at pool widths 1, 4, and 16.
+func TestFaultSweepParallelEquivalence(t *testing.T) {
+	defer parallel.SetWidth(parallel.Width())
+	run := func(width int) *FaultResult {
+		parallel.SetWidth(width)
+		res, err := FaultSweep([]float64{0, 0.005, 0.02}, []int{0, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, width := range []int{4, 16} {
+		if got := run(width); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("width %d: fault sweep diverges from serial", width)
+		}
+	}
+}
+
+func TestFaultSweepValidation(t *testing.T) {
+	if _, err := FaultSweep(nil, []int{0}); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := FaultSweep([]float64{0.1}, nil); err == nil {
+		t.Error("empty spares accepted")
+	}
+	if _, err := FaultSweep([]float64{1.5}, []int{0}); err == nil {
+		t.Error("rate 1.5 accepted")
+	}
+}
+
+func TestFaultSweepFormat(t *testing.T) {
+	res, err := FaultSweep([]float64{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Format(); len(s) == 0 {
+		t.Fatal("empty format")
+	}
+}

@@ -41,13 +41,29 @@ func Seal(payload []float64) []float64 {
 }
 
 // Open verifies and strips the trailing checksum. It returns the original
-// payload, or an error if the data was corrupted in flight.
+// payload, or an error if the data was corrupted in flight. The guard
+// value itself is validated before conversion: a corrupted trailer that is
+// NaN, infinite, negative, fractional, or beyond uint32 range is reported
+// as corruption explicitly instead of being collapsed by a float-to-int
+// conversion (which would turn distinct corruptions into aliased guards
+// and, for NaN/Inf, platform-dependent values).
 func Open(sealed []float64) ([]float64, error) {
 	if len(sealed) < 1 {
 		return nil, fmt.Errorf("fault: sealed payload too short")
 	}
 	payload := sealed[:len(sealed)-1]
-	want := uint32(sealed[len(sealed)-1])
+	g := sealed[len(sealed)-1]
+	switch {
+	case math.IsNaN(g):
+		return nil, fmt.Errorf("fault: guard value is NaN")
+	case math.IsInf(g, 0):
+		return nil, fmt.Errorf("fault: guard value is %g", g)
+	case g != math.Trunc(g):
+		return nil, fmt.Errorf("fault: guard value %g is not an integer", g)
+	case g < 0 || g > math.MaxUint32:
+		return nil, fmt.Errorf("fault: guard value %g outside uint32 range", g)
+	}
+	want := uint32(g)
 	if got := Checksum(payload); got != want {
 		return nil, fmt.Errorf("fault: checksum mismatch (got %#x, want %#x)", got, want)
 	}

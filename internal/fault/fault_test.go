@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -48,6 +50,41 @@ func TestOpenDetectsChecksumCorruption(t *testing.T) {
 	}
 	if _, err := Open(nil); err == nil {
 		t.Error("empty sealed payload accepted")
+	}
+}
+
+// TestOpenRejectsMalformedGuards pins the guard-value validation: a
+// trailer that cannot be a CRC-32 — NaN, ±Inf, fractional, negative, or
+// past uint32 — is reported as corruption explicitly rather than silently
+// collapsed by the float-to-uint32 conversion.
+func TestOpenRejectsMalformedGuards(t *testing.T) {
+	payload := []float64{4, 5, 6}
+	for _, bad := range []float64{
+		math.NaN(),
+		math.Inf(1),
+		math.Inf(-1),
+		1.5,
+		-1,
+		float64(math.MaxUint32) + 1,
+		1e300,
+	} {
+		sealed := Seal(payload)
+		sealed[len(sealed)-1] = bad
+		if _, err := Open(sealed); err == nil {
+			t.Errorf("guard %g accepted", bad)
+		}
+	}
+	// Boundary guards that ARE representable must still reach the checksum
+	// comparison (and fail there, not in validation).
+	for _, edge := range []float64{0, math.MaxUint32} {
+		sealed := Seal(payload)
+		sealed[len(sealed)-1] = edge
+		_, err := Open(sealed)
+		if err == nil {
+			t.Errorf("wrong guard %g accepted", edge)
+		} else if !strings.Contains(err.Error(), "mismatch") {
+			t.Errorf("guard %g rejected before checksum comparison: %v", edge, err)
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bytesToPayload reinterprets fuzz bytes as a float64 payload so the fuzzer
+// can explore NaN/Inf/subnormal bit patterns, not just round numbers.
+func bytesToPayload(data []byte) []float64 {
+	payload := make([]float64, len(data)/8)
+	for i := range payload {
+		payload[i] = math.Float64frombits(binary.BigEndian.Uint64(data[8*i:]))
+	}
+	return payload
+}
+
+// FuzzSealOpen hardens the checksum round trip: for any payload, Seal then
+// Open must succeed and return the exact bits that went in; and Open must
+// never panic on an arbitrary sealed slice, however malformed its guard.
+func FuzzSealOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add([]byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1, 0x40, 0x09, 0x21, 0xfb, 0x54, 0x44, 0x2d, 0x18})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload := bytesToPayload(data)
+
+		// Round trip: Seal/Open is lossless for every payload, NaNs and
+		// infinities included (the checksum runs over raw bits).
+		got, err := Open(Seal(payload))
+		if err != nil {
+			t.Fatalf("Open(Seal(payload)): %v", err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("round trip length %d != %d", len(got), len(payload))
+		}
+		for i := range payload {
+			if math.Float64bits(got[i]) != math.Float64bits(payload[i]) {
+				t.Fatalf("element %d: %x != %x", i,
+					math.Float64bits(got[i]), math.Float64bits(payload[i]))
+			}
+		}
+
+		// Adversarial open: the raw payload treated as a sealed slice must
+		// either fail cleanly or yield a payload that re-seals to the same
+		// guard. No panics, no NaN/Inf guard slipping through.
+		if opened, err := Open(payload); err == nil {
+			g := payload[len(payload)-1]
+			if g != math.Trunc(g) || math.IsNaN(g) || math.IsInf(g, 0) || g < 0 || g > math.MaxUint32 {
+				t.Fatalf("Open accepted malformed guard %g", g)
+			}
+			if uint32(g) != Checksum(opened) {
+				t.Fatalf("Open accepted guard %g but checksum is %#x", g, Checksum(opened))
+			}
+		}
+	})
+}
+
+// FuzzFlipBit hardens the corruption primitive: any (idx, bit) either
+// errors (out of range) or flips exactly one bit, in which case flipping
+// again restores the original and Open detects the single flip.
+func FuzzFlipBit(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 0, uint(0))
+	f.Add([]byte{}, -1, uint(63))
+	f.Add(make([]byte, 24), 2, uint(64))
+
+	f.Fuzz(func(t *testing.T, data []byte, idx int, bit uint) {
+		payload := bytesToPayload(data)
+		sealed := Seal(payload)
+		orig := append([]float64(nil), sealed...)
+
+		err := FlipBit(sealed, idx, bit)
+		outOfRange := idx < 0 || idx >= len(sealed) || bit > 63
+		if outOfRange {
+			if err == nil {
+				t.Fatalf("FlipBit(%d, %d) on len %d: no error", idx, bit, len(sealed))
+			}
+			for i := range sealed {
+				if math.Float64bits(sealed[i]) != math.Float64bits(orig[i]) {
+					t.Fatal("failed FlipBit mutated the payload")
+				}
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range FlipBit(%d, %d): %v", idx, bit, err)
+		}
+		if _, err := Open(sealed); err == nil {
+			t.Fatal("single bit flip not detected")
+		}
+		// Double flip restores the original bits exactly.
+		if err := FlipBit(sealed, idx, bit); err != nil {
+			t.Fatalf("second FlipBit: %v", err)
+		}
+		for i := range sealed {
+			if math.Float64bits(sealed[i]) != math.Float64bits(orig[i]) {
+				t.Fatalf("double flip did not restore element %d", i)
+			}
+		}
+		if _, err := Open(sealed); err != nil {
+			t.Fatalf("restored payload failed Open: %v", err)
+		}
+	})
+}

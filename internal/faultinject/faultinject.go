@@ -1,0 +1,246 @@
+// Package faultinject is the deterministic device-fault model behind the
+// paper's Section V.A fault-tolerance claims and the Section VI scaling
+// caveats: memristive cells get stuck, drift with endurance, and fail
+// transiently under the write asymmetry — and a credible CIM fabric has to
+// *measure* how much of that it survives, not assert it.
+//
+// The model is counter-based, like internal/noise: every fault decision is
+// a pure function of (fault source, physical cell position, program epoch,
+// pulse index), never of evaluation order. That is what keeps fault sweeps
+// bit-identical at any -parallel width — a tile derives one child source
+// per crossbar block, a crossbar keys every draw by cell position, and no
+// goroutine schedule can change which cells are stuck.
+//
+// Three fault classes are modeled, following the taxonomy of the co-design
+// survey (PAPERS.md) and Eva-CiM:
+//
+//   - Stuck-at faults: a cell is permanently pinned at GMin (stuck-low,
+//     forming/reset failures) or GMax (stuck-high, shorted filaments).
+//     Permanent and position-keyed: the same cell is stuck in every
+//     program epoch, so repair must route around it (spare remapping).
+//   - Endurance drift: a cell loses a fixed fraction of its programmed
+//     conductance per program epoch (retention/endurance aging). Drift
+//     happens *after* program-and-verify settles — the write verifies
+//     clean, then the level relaxes — so it degrades accuracy without
+//     triggering remap, exactly the slow aging Section V.D wants detected
+//     by health scans rather than write verification.
+//   - Transient write failures: an individual program pulse fails to move
+//     the cell with probability WriteFailRate. These are the recoverable
+//     class: program-and-verify retries with escalating pulse trains
+//     (charging real write energy and latency per pulse) almost always
+//     settle the cell; only pathological rates exhaust the retry budget.
+//
+// The consumers are internal/crossbar (program-and-verify + spare-column
+// remapping), internal/dpe (HealthCheck/Repair between batches), and
+// internal/serve (the health-aware circuit breaker). See docs/FAULTS.md.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"cimrev/internal/noise"
+)
+
+// Fault classifies the permanent fault at one physical cell.
+type Fault uint8
+
+const (
+	// None: the cell programs normally (transient pulse failures aside).
+	None Fault = iota
+	// StuckLow: the cell is pinned at its minimum conductance level.
+	StuckLow
+	// StuckHigh: the cell is pinned at its maximum conductance level.
+	StuckHigh
+	// Drifter: the cell verifies clean but loses conductance each epoch.
+	Drifter
+)
+
+// String returns the fault class name.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case StuckLow:
+		return "stuck-low"
+	case StuckHigh:
+		return "stuck-high"
+	case Drifter:
+		return "drifter"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Substream indices under a crossbar's fault source: permanent-fault
+// classification, drift magnitudes, and per-pulse transient failures each
+// draw from their own derived child so the three decision kinds are
+// statistically independent at every cell.
+const (
+	subStuck uint64 = iota
+	subDrift
+	subWrite
+)
+
+// maxPulsesPerCell bounds the per-cell pulse counter used to key transient
+// write-failure draws: pulse p of program epoch e draws at index
+// e*maxPulsesPerCell + p. A verify loop with escalating trains of
+// 1,2,4,8,16,32 pulses uses at most 63, so 64 leaves headroom.
+const maxPulsesPerCell = 64
+
+// Model is a device-fault configuration. The zero value disables fault
+// injection entirely — every consumer's zero-fault path is bit-identical
+// to a build without this package.
+type Model struct {
+	// StuckLowRate and StuckHighRate are per-physical-cell probabilities
+	// of a permanent stuck-at fault at GMin / GMax respectively.
+	StuckLowRate  float64
+	StuckHighRate float64
+	// DriftRate is the per-cell probability of endurance-driven drift;
+	// DriftMax bounds the per-epoch fractional conductance loss of a
+	// drifting cell (each drifter's loss is drawn uniformly in
+	// (0, DriftMax]).
+	DriftRate float64
+	DriftMax  float64
+	// WriteFailRate is the per-pulse probability that a program pulse
+	// fails to move the cell (the transient class program-and-verify
+	// exists to absorb).
+	WriteFailRate float64
+	// Seed keys the fault source tree. Engines derive one child per
+	// stage, tiles one grandchild per block, so distinct arrays fault
+	// independently while the whole sweep reproduces from one seed.
+	Seed int64
+}
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (m Model) Enabled() bool {
+	return m.StuckLowRate > 0 || m.StuckHighRate > 0 || m.DriftRate > 0 || m.WriteFailRate > 0
+}
+
+// Validate reports whether the model is usable: every rate is a
+// probability, the stuck classes don't overlap past certainty, and drift
+// magnitude is a fraction.
+func (m Model) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"StuckLowRate", m.StuckLowRate},
+		{"StuckHighRate", m.StuckHighRate},
+		{"DriftRate", m.DriftRate},
+		{"WriteFailRate", m.WriteFailRate},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultinject: %s must be in [0,1], got %g", p.name, p.v)
+		}
+	}
+	if s := m.StuckLowRate + m.StuckHighRate + m.DriftRate; s > 1 {
+		return fmt.Errorf("faultinject: stuck/drift rates sum to %g > 1", s)
+	}
+	if m.DriftRate > 0 && (math.IsNaN(m.DriftMax) || m.DriftMax <= 0 || m.DriftMax >= 1) {
+		return fmt.Errorf("faultinject: DriftMax must be in (0,1) when DriftRate > 0, got %g", m.DriftMax)
+	}
+	return nil
+}
+
+// Root returns the root fault source for the model's seed. Derive children
+// per stage / per block from it; cell-level draws then key off position.
+func (m Model) Root() noise.Source { return noise.NewSource(m.Seed) }
+
+// Cell returns the permanent fault class of the physical cell at pos under
+// source src. The draw is position-keyed: the same (src, pos) is stuck (or
+// not) in every program epoch, at any evaluation order.
+func (m Model) Cell(src noise.Source, pos uint64) Fault {
+	if m.StuckLowRate == 0 && m.StuckHighRate == 0 && m.DriftRate == 0 {
+		return None
+	}
+	u := src.Derive(subStuck).Float64(pos)
+	switch {
+	case u < m.StuckLowRate:
+		return StuckLow
+	case u < m.StuckLowRate+m.StuckHighRate:
+		return StuckHigh
+	case u < m.StuckLowRate+m.StuckHighRate+m.DriftRate:
+		return Drifter
+	}
+	return None
+}
+
+// DriftLoss returns the per-epoch fractional conductance loss of the
+// drifting cell at pos: uniform in (0, DriftMax], position-keyed. Callers
+// only consult it for cells Cell classified as Drifter.
+func (m Model) DriftLoss(src noise.Source, pos uint64) float64 {
+	return src.Derive(subDrift).Float64(pos) * m.DriftMax
+}
+
+// DriftFactor returns the cumulative conductance retention of a drifting
+// cell after `epochs` program epochs: (1-loss)^epochs.
+func (m Model) DriftFactor(src noise.Source, pos uint64, epochs uint64) float64 {
+	if epochs == 0 {
+		return 1
+	}
+	return math.Pow(1-m.DriftLoss(src, pos), float64(epochs))
+}
+
+// PulseFails reports whether program pulse `pulse` (0-based within the
+// cell's program epoch) of epoch `epoch` at cell pos fails to move the
+// device. Keyed by (src, pos, epoch, pulse): a retry in the same epoch
+// draws fresh, a reprogram in a later epoch re-rolls everything, and no
+// draw depends on scheduling. pulse must be < 64 per epoch (the verify
+// loop's escalating trains stay well under).
+func (m Model) PulseFails(src noise.Source, pos, epoch, pulse uint64) bool {
+	if m.WriteFailRate == 0 {
+		return false
+	}
+	return src.Derive(subWrite).Derive(pos).Float64(epoch*maxPulsesPerCell+pulse) < m.WriteFailRate
+}
+
+// Report aggregates what fault handling observed and did during a program
+// pass: the measured blast radius of the configured fault rates. Crossbars
+// fill one per Program; tiles and engines fold them upward in fixed block
+// and stage order, so totals are deterministic at any pool width.
+type Report struct {
+	// StuckCells counts permanent stuck-at faults encountered in columns
+	// that were actually programmed (primaries and consumed spares).
+	StuckCells int
+	// DriftCells counts drifting cells in programmed columns.
+	DriftCells int
+	// RetryPulses counts program pulses beyond the first per cell: the
+	// extra write work program-and-verify charged to the cost ledger.
+	RetryPulses int64
+	// Verifies counts verify read-backs (one per pulse train).
+	Verifies int64
+	// RemappedCols counts logical columns the built-in self-test moved
+	// onto spare physical columns.
+	RemappedCols int
+	// SparesUsed counts spare physical columns consumed (including bad
+	// spares that were themselves skipped over).
+	SparesUsed int
+	// BadSpares counts spares that failed their own self-test and were
+	// discarded during remapping.
+	BadSpares int
+	// LostCols counts logical columns left holding corrupted data because
+	// the spare budget ran out: the non-silent degradation signal.
+	LostCols int
+}
+
+// Add folds o into r.
+func (r *Report) Add(o Report) {
+	r.StuckCells += o.StuckCells
+	r.DriftCells += o.DriftCells
+	r.RetryPulses += o.RetryPulses
+	r.Verifies += o.Verifies
+	r.RemappedCols += o.RemappedCols
+	r.SparesUsed += o.SparesUsed
+	r.BadSpares += o.BadSpares
+	r.LostCols += o.LostCols
+}
+
+// Healthy reports whether every logical column holds verified data: no
+// column was lost to spare exhaustion.
+func (r Report) Healthy() bool { return r.LostCols == 0 }
+
+// String formats the report compactly for logs and experiment tables.
+func (r Report) String() string {
+	return fmt.Sprintf("stuck=%d drift=%d retries=%d remapped=%d spares=%d bad_spares=%d lost=%d",
+		r.StuckCells, r.DriftCells, r.RetryPulses, r.RemappedCols, r.SparesUsed, r.BadSpares, r.LostCols)
+}

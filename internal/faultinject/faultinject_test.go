@@ -1,0 +1,204 @@
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Model{
+		{},
+		{StuckLowRate: 0.01, StuckHighRate: 0.01, WriteFailRate: 0.5, Seed: 7},
+		{DriftRate: 0.1, DriftMax: 0.05},
+		{StuckLowRate: 1},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %d: unexpected error: %v", i, err)
+		}
+	}
+	bad := []Model{
+		{StuckLowRate: -0.1},
+		{StuckHighRate: 1.5},
+		{WriteFailRate: math.NaN()},
+		{StuckLowRate: 0.7, StuckHighRate: 0.7}, // classes overlap certainty
+		{DriftRate: 0.1},                        // DriftMax missing
+		{DriftRate: 0.1, DriftMax: 1},
+		{DriftRate: 0.1, DriftMax: math.NaN()},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d (%+v): expected error", i, m)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Model{}).Enabled() {
+		t.Fatal("zero model must be disabled")
+	}
+	if (Model{Seed: 99}).Enabled() {
+		t.Fatal("seed alone must not enable the model")
+	}
+	for _, m := range []Model{
+		{StuckLowRate: 0.001},
+		{StuckHighRate: 0.001},
+		{DriftRate: 0.001, DriftMax: 0.1},
+		{WriteFailRate: 0.001},
+	} {
+		if !m.Enabled() {
+			t.Errorf("model %+v must be enabled", m)
+		}
+	}
+}
+
+// TestCellDeterminism pins the positional-determinism contract: the fault
+// class of a cell depends only on (source, position), never on query order
+// or goroutine, and distinct positions fault independently.
+func TestCellDeterminism(t *testing.T) {
+	m := Model{StuckLowRate: 0.1, StuckHighRate: 0.1, DriftRate: 0.1, DriftMax: 0.2, Seed: 42}
+	src := m.Root()
+	const n = 4096
+	want := make([]Fault, n)
+	for i := range want {
+		want[i] = m.Cell(src, uint64(i))
+	}
+	// Re-query in reverse order and from concurrent goroutines.
+	for i := n - 1; i >= 0; i-- {
+		if got := m.Cell(src, uint64(i)); got != want[i] {
+			t.Fatalf("pos %d: reverse query %v != %v", i, got, want[i])
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				if m.Cell(src, uint64(i)) != want[i] {
+					errs[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, e := range errs {
+		if e != 0 {
+			t.Fatalf("worker %d saw %d mismatches", w, e)
+		}
+	}
+}
+
+// TestCellRates checks the fault classifier hits its configured rates to
+// within sampling error, and that distinct seeds fault different cells.
+func TestCellRates(t *testing.T) {
+	m := Model{StuckLowRate: 0.05, StuckHighRate: 0.03, DriftRate: 0.02, DriftMax: 0.1, Seed: 7}
+	src := m.Root()
+	const n = 200_000
+	counts := map[Fault]int{}
+	for i := 0; i < n; i++ {
+		counts[m.Cell(src, uint64(i))]++
+	}
+	check := func(f Fault, rate float64) {
+		got := float64(counts[f]) / n
+		if math.Abs(got-rate) > 0.005 {
+			t.Errorf("%v: rate %.4f, want ~%.4f", f, got, rate)
+		}
+	}
+	check(StuckLow, 0.05)
+	check(StuckHigh, 0.03)
+	check(Drifter, 0.02)
+
+	m2 := m
+	m2.Seed = 8
+	src2 := m2.Root()
+	same := 0
+	for i := 0; i < 10_000; i++ {
+		if m.Cell(src, uint64(i)) == StuckLow && m2.Cell(src2, uint64(i)) == StuckLow {
+			same++
+		}
+	}
+	// Independent 5% rates coincide at ~0.25%; 10k draws ⇒ ~25 ± a few.
+	if same > 100 {
+		t.Errorf("seeds 7 and 8 share %d stuck-low cells of 10000: sources not independent", same)
+	}
+}
+
+func TestDriftBounds(t *testing.T) {
+	m := Model{DriftRate: 1, DriftMax: 0.25, Seed: 3}
+	src := m.Root()
+	for i := uint64(0); i < 10_000; i++ {
+		loss := m.DriftLoss(src, i)
+		if loss <= 0 || loss > 0.25 {
+			t.Fatalf("pos %d: drift loss %g outside (0, 0.25]", i, loss)
+		}
+	}
+	if f := m.DriftFactor(src, 5, 0); f != 1 {
+		t.Fatalf("epoch 0 drift factor = %g, want 1", f)
+	}
+	f1, f3 := m.DriftFactor(src, 5, 1), m.DriftFactor(src, 5, 3)
+	if !(f3 < f1 && f1 < 1) {
+		t.Fatalf("drift must compound: f1=%g f3=%g", f1, f3)
+	}
+	want := math.Pow(f1, 3)
+	if math.Abs(f3-want) > 1e-12 {
+		t.Fatalf("drift factor not exponential in epochs: f3=%g want %g", f3, want)
+	}
+}
+
+// TestPulseFails pins per-pulse independence: retries within an epoch and
+// reprograms across epochs draw fresh, while the same (epoch, pulse) always
+// reproduces.
+func TestPulseFails(t *testing.T) {
+	m := Model{WriteFailRate: 0.5, Seed: 11}
+	src := m.Root()
+	const pos = 17
+	a := m.PulseFails(src, pos, 0, 0)
+	for i := 0; i < 100; i++ {
+		if m.PulseFails(src, pos, 0, 0) != a {
+			t.Fatal("same (pos, epoch, pulse) must reproduce")
+		}
+	}
+	// At 50% failure, 64 draws across pulses and epochs must not all agree.
+	varies := false
+	for p := uint64(0); p < 32 && !varies; p++ {
+		varies = m.PulseFails(src, pos, 0, p) != a || m.PulseFails(src, pos, p+1, 0) != a
+	}
+	if !varies {
+		t.Fatal("pulse failures must vary across pulses and epochs")
+	}
+	if (Model{}).PulseFails(src, pos, 0, 0) {
+		t.Fatal("zero WriteFailRate must never fail")
+	}
+}
+
+func TestReportAddHealthyString(t *testing.T) {
+	var r Report
+	if !r.Healthy() {
+		t.Fatal("zero report must be healthy")
+	}
+	r.Add(Report{StuckCells: 2, DriftCells: 1, RetryPulses: 5, Verifies: 9, RemappedCols: 1, SparesUsed: 2, BadSpares: 1, LostCols: 0})
+	r.Add(Report{StuckCells: 1, LostCols: 3})
+	if r.StuckCells != 3 || r.RetryPulses != 5 || r.SparesUsed != 2 || r.LostCols != 3 {
+		t.Fatalf("bad fold: %+v", r)
+	}
+	if r.Healthy() {
+		t.Fatal("lost columns must mark the report unhealthy")
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for f, want := range map[Fault]string{None: "none", StuckLow: "stuck-low", StuckHigh: "stuck-high", Drifter: "drifter"} {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+		}
+	}
+	if Fault(99).String() == "" {
+		t.Error("unknown fault must still format")
+	}
+}

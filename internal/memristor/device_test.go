@@ -176,6 +176,90 @@ func TestDeviceAging(t *testing.T) {
 	}
 }
 
+// TestDeviceEnduranceGMaxDecayFormula pins the aging model exactly: once
+// writes exceed Endurance, the top-level conductance follows
+// GMax*(1-DriftPerWrite)^over, so Health and StoredWeight compress by the
+// same analytic factor. A silent change to the decay law would skew every
+// fault-sweep accuracy number downstream.
+func TestDeviceEnduranceGMaxDecayFormula(t *testing.T) {
+	p := DefaultParams()
+	p.Endurance = 5
+	p.DriftPerWrite = 0.02
+	d := mustDevice(t, p)
+
+	const total = 25 // 20 writes past the endurance limit
+	for i := 0; i < total; i++ {
+		if _, err := d.Program(p.Levels - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	over := float64(total) - float64(p.Endurance)
+	wantGMax := p.GMax * math.Pow(1-p.DriftPerWrite, over)
+	if g := d.Conductance(); math.Abs(g-wantGMax) > 1e-12*p.GMax {
+		t.Errorf("aged top-level conductance = %g, want %g", g, wantGMax)
+	}
+	wantHealth := (wantGMax - p.GMin) / (p.GMax - p.GMin)
+	if h := d.Health(); math.Abs(h-wantHealth) > 1e-12 {
+		t.Errorf("Health = %g, want %g", h, wantHealth)
+	}
+	// StoredWeight of the top level compresses by exactly Health.
+	if sw := d.StoredWeight(); math.Abs(sw-wantHealth) > 1e-12 {
+		t.Errorf("StoredWeight = %g, want %g", sw, wantHealth)
+	}
+}
+
+// TestDeviceExtremeWearFloorsAtGMin drives a device far past its endurance
+// limit: the aged GMax floors at GMin (conductance can shrink, never go
+// negative or invert), so Health bottoms out at 0 and every stored weight
+// collapses to 0 — graceful degradation, not wraparound.
+func TestDeviceExtremeWearFloorsAtGMin(t *testing.T) {
+	p := DefaultParams()
+	p.Endurance = 1
+	p.DriftPerWrite = 0.5 // range halves every write past the limit
+	d := mustDevice(t, p)
+
+	for i := 0; i < 200; i++ {
+		if _, err := d.Program(p.Levels - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g := d.Conductance(); g != p.GMin {
+		t.Errorf("worn-out top-level conductance = %g, want GMin %g", g, p.GMin)
+	}
+	if h := d.Health(); h != 0 {
+		t.Errorf("worn-out Health = %g, want 0", h)
+	}
+	if sw := d.StoredWeight(); sw != 0 {
+		t.Errorf("worn-out StoredWeight = %g, want 0", sw)
+	}
+	// Reads on a dead device stay at the floor too: no negative conductance.
+	g, _ := d.Read(nil)
+	if g < 0 || g != p.GMin {
+		t.Errorf("worn-out noise-free read = %g, want GMin %g", g, p.GMin)
+	}
+}
+
+// TestDeviceAgingBelowEnduranceIsFree pins the other side of the limit:
+// any number of writes at or under Endurance leaves the full dynamic range
+// intact, bit for bit.
+func TestDeviceAgingBelowEnduranceIsFree(t *testing.T) {
+	p := DefaultParams()
+	p.Endurance = 50
+	p.DriftPerWrite = 0.1
+	d := mustDevice(t, p)
+	for i := 0; i < 50; i++ {
+		if _, err := d.Program(p.Levels - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g := d.Conductance(); g != p.GMax {
+		t.Errorf("conductance at the endurance boundary = %g, want GMax %g", g, p.GMax)
+	}
+	if h := d.Health(); h != 1 {
+		t.Errorf("Health at the endurance boundary = %g, want 1", h)
+	}
+}
+
 func TestDeviceHealthMonotoneInWrites(t *testing.T) {
 	p := DefaultParams()
 	p.Endurance = 0

@@ -1,0 +1,258 @@
+// Health-aware circuit breaker over a shadow-engine pair.
+//
+// The fault subsystem (internal/faultinject, docs/FAULTS.md) makes weight
+// updates fallible: program-and-verify can exhaust retry budgets, spare
+// columns can run out, and a freshly swapped engine can compute garbage on
+// cells the self-test could not save. The Breaker is the serving layer's
+// response. It wraps a ShadowPair and adds three behaviors:
+//
+//   - Reprogram failures are retried with exponential backoff plus
+//     deterministic jitter (a counter-based noise stream, so tests replay
+//     bit-identically). Each retry re-runs Load on a fresh program epoch,
+//     which re-rolls transient write failures.
+//   - After a successful swap, the new live engine is probed against a
+//     labeled holdout set. If probe accuracy falls below MinAccuracy the
+//     breaker trips: the degraded weights stay live (they were already
+//     swapped and the old weights are now mid-overwrite on the standby),
+//     but every subsequent batch sheds with a typed ErrUnhealthy instead
+//     of silently serving bad answers.
+//   - While tripped, InferBatch fails fast. A subsequent successful
+//     Reprogram (healthy swap + passing probe) closes the breaker; Reset
+//     forces it closed for operators who accept the degradation.
+//
+// The Server's flush loop recognizes ErrUnhealthy and sheds whole batches
+// without the per-request fallback — retrying one request at a time
+// against a tripped breaker is pure waste.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/metrics"
+	"cimrev/internal/nn"
+	"cimrev/internal/noise"
+)
+
+// ErrUnhealthy is the typed sentinel for health-driven load shedding: a
+// tripped Breaker returns it from InferBatch, and ShadowPair.Reprogram
+// wraps it when a standby stays unhealthy after repair. Callers match it
+// with errors.Is; the Server's dispatcher sheds whole batches on it.
+var ErrUnhealthy = errors.New("serve: backend unhealthy")
+
+// UnhealthyError carries the probe evidence behind a breaker trip. It
+// unwraps to ErrUnhealthy so errors.Is(err, ErrUnhealthy) matches.
+type UnhealthyError struct {
+	// Accuracy is the measured probe accuracy that tripped the breaker.
+	Accuracy float64
+	// MinAccuracy is the configured floor it fell below.
+	MinAccuracy float64
+}
+
+func (e *UnhealthyError) Error() string {
+	return fmt.Sprintf("serve: probe accuracy %.4f below floor %.4f: %v",
+		e.Accuracy, e.MinAccuracy, ErrUnhealthy)
+}
+
+// Unwrap makes errors.Is(err, ErrUnhealthy) true.
+func (e *UnhealthyError) Unwrap() error { return ErrUnhealthy }
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// MinAccuracy is the probe-accuracy floor in [0, 1]. A post-swap probe
+	// below it trips the breaker. With no probe set, accuracy gating is
+	// skipped and only reprogram failures can trip.
+	MinAccuracy float64
+	// ProbeInputs / ProbeLabels are the labeled holdout set probed after
+	// every swap. Labels are argmax class indices. Both may be empty
+	// (disables probing); lengths must match.
+	ProbeInputs [][]float64
+	ProbeLabels []int
+	// MaxRetries bounds how many times a failed Reprogram is retried
+	// (total attempts = MaxRetries + 1). Zero disables retries.
+	MaxRetries int
+	// BaseBackoff is the first retry's nominal delay; attempt k waits
+	// BaseBackoff << k, capped at MaxBackoff, scaled by a jitter factor
+	// in [0.5, 1). Zero disables sleeping (retries run back to back).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Seed keys the jitter stream. Jitter draws are a pure function of
+	// (Seed, attempt counter), so retry schedules replay exactly.
+	Seed int64
+	// Registry receives breaker metrics. Nil selects a private registry.
+	Registry *metrics.Registry
+}
+
+// Validate reports whether the configuration is usable.
+func (c BreakerConfig) Validate() error {
+	switch {
+	case c.MinAccuracy < 0 || c.MinAccuracy > 1:
+		return fmt.Errorf("serve: MinAccuracy must be in [0, 1], got %g", c.MinAccuracy)
+	case len(c.ProbeInputs) != len(c.ProbeLabels):
+		return fmt.Errorf("serve: probe set mismatch: %d inputs, %d labels",
+			len(c.ProbeInputs), len(c.ProbeLabels))
+	case c.MaxRetries < 0:
+		return fmt.Errorf("serve: MaxRetries must be >= 0, got %d", c.MaxRetries)
+	case c.BaseBackoff < 0 || c.MaxBackoff < 0:
+		return fmt.Errorf("serve: backoff durations must be >= 0")
+	case c.MaxBackoff > 0 && c.BaseBackoff > c.MaxBackoff:
+		return fmt.Errorf("serve: BaseBackoff %v exceeds MaxBackoff %v", c.BaseBackoff, c.MaxBackoff)
+	}
+	return nil
+}
+
+// Breaker is a health-aware circuit breaker implementing Backend over a
+// ShadowPair. Construct with NewBreaker; the zero value is not usable.
+// InferBatch is safe for concurrent use; Reprogram calls are serialized
+// internally and may run concurrently with InferBatch.
+type Breaker struct {
+	cfg  BreakerConfig
+	pair *ShadowPair
+	reg  *metrics.Registry
+
+	jitter  noise.Source
+	draws   atomic.Uint64 // jitter stream position
+	tripped atomic.Bool
+}
+
+// NewBreaker wraps pair with health gating.
+func NewBreaker(pair *ShadowPair, cfg BreakerConfig) (*Breaker, error) {
+	if pair == nil {
+		return nil, fmt.Errorf("serve: nil shadow pair")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Breaker{cfg: cfg, pair: pair, reg: reg, jitter: noise.NewSource(cfg.Seed)}, nil
+}
+
+// Pair returns the underlying shadow pair (statistics only).
+func (b *Breaker) Pair() *ShadowPair { return b.pair }
+
+// Tripped reports whether the breaker is open (shedding).
+func (b *Breaker) Tripped() bool { return b.tripped.Load() }
+
+// Reset forces the breaker closed without a probe: the operator accepts
+// whatever weights are live.
+func (b *Breaker) Reset() { b.tripped.Store(false) }
+
+// InferBatch serves the batch from the live engine, or sheds the whole
+// batch with ErrUnhealthy while the breaker is open.
+func (b *Breaker) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	if b.tripped.Load() {
+		b.reg.Counter("serve.breaker_shed").Add(int64(len(inputs)))
+		return nil, energy.Zero, fmt.Errorf("serve: breaker open: %w", ErrUnhealthy)
+	}
+	return b.pair.InferBatch(inputs)
+}
+
+// Reprogram pushes net through the shadow pair with retry, backoff, and a
+// post-swap accuracy probe. On success the breaker (re)closes. Failure
+// modes:
+//
+//   - Every attempt failed (standby unhealthy after repair, or a hard
+//     Load error): the breaker trips and the last error is returned; the
+//     live engine keeps serving the previous weights.
+//   - The swap happened but the probe came in under MinAccuracy: the
+//     breaker trips and an *UnhealthyError with the evidence is returned.
+//
+// The hidden cost accumulates across every attempt — failed programming
+// passes burn real energy, and the ledger shows it.
+func (b *Breaker) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err error) {
+	attempts := b.cfg.MaxRetries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			b.reg.Counter("serve.reprogram_retries").Inc()
+			if d := b.backoff(attempt - 1); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		var v, h energy.Cost
+		v, h, err = b.pair.Reprogram(net)
+		hidden = hidden.Seq(h)
+		if err == nil {
+			visible = v
+			break
+		}
+	}
+	if err != nil {
+		b.trip()
+		return energy.Zero, hidden, fmt.Errorf("serve: reprogram failed after %d attempts: %w", attempts, err)
+	}
+
+	if len(b.cfg.ProbeInputs) > 0 {
+		acc, perr := b.probe()
+		if perr != nil {
+			b.trip()
+			return energy.Zero, hidden, fmt.Errorf("serve: post-swap probe: %w", perr)
+		}
+		b.reg.Gauge("serve.probe_accuracy").Set(acc)
+		if acc < b.cfg.MinAccuracy {
+			b.trip()
+			return energy.Zero, hidden, &UnhealthyError{Accuracy: acc, MinAccuracy: b.cfg.MinAccuracy}
+		}
+	}
+	b.tripped.Store(false)
+	return visible, hidden, nil
+}
+
+// trip opens the breaker and counts the transition.
+func (b *Breaker) trip() {
+	if !b.tripped.Swap(true) {
+		b.reg.Counter("serve.breaker_trips").Inc()
+	}
+}
+
+// backoff returns attempt k's delay: BaseBackoff << k capped at
+// MaxBackoff, scaled by a deterministic jitter factor in [0.5, 1) so
+// synchronized retries decorrelate without losing replayability.
+func (b *Breaker) backoff(k int) time.Duration {
+	if b.cfg.BaseBackoff <= 0 {
+		return 0
+	}
+	d := b.cfg.BaseBackoff
+	for i := 0; i < k && d < 1<<40; i++ {
+		d *= 2
+	}
+	if b.cfg.MaxBackoff > 0 && d > b.cfg.MaxBackoff {
+		d = b.cfg.MaxBackoff
+	}
+	f := 0.5 + 0.5*b.jitter.Float64(b.draws.Add(1))
+	return time.Duration(float64(d) * f)
+}
+
+// probe runs the holdout set through the live engine (bypassing the
+// tripped check — the probe is how the breaker decides) and returns
+// argmax accuracy.
+func (b *Breaker) probe() (float64, error) {
+	outs, _, err := b.pair.InferBatch(b.cfg.ProbeInputs)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, out := range outs {
+		if argmax(out) == b.cfg.ProbeLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(outs)), nil
+}
+
+// argmax returns the index of the largest element (first on ties).
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

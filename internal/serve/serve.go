@@ -265,6 +265,18 @@ func (s *Server) flush(batch []*request) {
 	}
 	outs, cost, err := s.backend.InferBatch(inputs)
 	if err != nil {
+		if errors.Is(err, ErrUnhealthy) {
+			// Health-driven shed: a tripped breaker (or an unhealthy
+			// backend) fails every request identically, so the
+			// per-request fallback below would just hammer it N more
+			// times. Shed the whole batch with the typed error and let
+			// callers decide whether to retry, reroute, or alarm.
+			s.reg.Counter("serve.unhealthy").Add(int64(len(batch)))
+			for _, req := range batch {
+				req.resp <- response{err: err}
+			}
+			return
+		}
 		s.reg.Counter("serve.batch_errors").Inc()
 		s.flushIndividually(batch)
 		return

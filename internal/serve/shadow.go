@@ -115,6 +115,15 @@ func (p *ShadowPair) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, e
 // engine is indistinguishable from a freshly constructed engine loaded
 // with net — its noise sequence restarts at zero — and the new network may
 // even have a different topology than the old one.
+//
+// When device-fault injection is active (dpe.Config.Faults), Reprogram is
+// health-aware: if program-and-verify left the standby with lost columns,
+// it runs one Repair pass in place — still off the critical path, still
+// charged to the hidden ledger — before swapping. A standby that remains
+// unhealthy after repair is NEVER swapped in: Reprogram returns an error
+// wrapping ErrUnhealthy, the live engine keeps serving the old weights,
+// and the hidden cost of the failed attempt stays on the books (the energy
+// was spent even though no swap happened).
 func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err error) {
 	p.reprogramMu.Lock()
 	defer p.reprogramMu.Unlock()
@@ -124,10 +133,27 @@ func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, er
 	// previous swap, then program it. The live engine serves throughout.
 	sb.mu.Lock()
 	cost, err := sb.eng.Load(net)
-	sb.mu.Unlock()
 	if err != nil {
+		sb.mu.Unlock()
 		return energy.Zero, energy.Zero, fmt.Errorf("serve: shadow reprogram: %w", err)
 	}
+	// Repair-before-swap: transient write failures re-roll on the repair
+	// epoch and usually clear; stuck-cell losses past the spare budget do
+	// not, and block the swap.
+	if h := sb.eng.HealthCheck(); !h.Healthy() {
+		rcost, h2, rerr := sb.eng.Repair()
+		cost = cost.Seq(rcost)
+		if rerr == nil && !h2.Healthy() {
+			rerr = fmt.Errorf("serve: standby unhealthy after repair (%s): %w", h2, ErrUnhealthy)
+		}
+		if rerr != nil {
+			sb.mu.Unlock()
+			p.hiddenPS.Add(cost.LatencyPS)
+			addFloat(&p.hiddenPJ, cost.EnergyPJ)
+			return energy.Zero, cost, rerr
+		}
+	}
+	sb.mu.Unlock()
 
 	// Atomic swap: requests that load the pointer after this line run on
 	// the new weights. The old live engine becomes the next standby.
