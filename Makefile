@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve bench-fault cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve bench-fault bench-obs cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -33,7 +33,11 @@ test:
 # deduplicated concurrent memo Calls, lock-free histogram observes). The
 # fourth pins the device-fault subsystem: injection determinism,
 # program-and-verify + spare remapping, engine health scans and repairs,
-# and the serving-layer circuit breaker (docs/FAULTS.md).
+# and the serving-layer circuit breaker (docs/FAULTS.md). The fifth pins
+# the observability layer (docs/OBSERVABILITY.md): concurrent span
+# recording, traced-vs-untraced bit-identity at pool widths 1/4/16,
+# context-canceled request shedding, and the cimserve telemetry
+# endpoint lifecycle.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -46,6 +50,11 @@ race:
 		-run 'Fault|Health|Repair|Breaker' \
 		./internal/faultinject/ ./internal/crossbar/ ./internal/dpe/ \
 		./internal/serve/ ./internal/experiments/
+	$(GO) test -race -count=1 \
+		-run 'Trace|Concurrent|Canceled|Telemetry|Prom|Quantile' \
+		./internal/obs/ ./internal/crossbar/ ./internal/dpe/ \
+		./internal/serve/ ./internal/metrics/ ./internal/experiments/ \
+		./cmd/cimserve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -76,6 +85,15 @@ bench-fault:
 	$(GO) run ./cmd/cimbench -exp fault -format bench \
 		| $(GO) run ./cmd/benchjson -out BENCH_fault.json
 	@echo wrote BENCH_fault.json
+
+# Tracer-overhead artifact (docs/OBSERVABILITY.md budget: disabled <5%
+# over untraced, 0 allocs): wall-clock ns/op for the MVM hot path and
+# the serve request path — untraced vs disabled-tracer vs enabled —
+# archived through cmd/benchjson as BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/cimbench -exp obs -format bench \
+		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+	@echo wrote BENCH_obs.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

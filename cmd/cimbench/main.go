@@ -13,6 +13,13 @@
 //	cimbench -exp fault -format bench
 //	                          # emit the fault sweep as benchmark result
 //	                          # lines for cmd/benchjson (make bench-fault)
+//	cimbench -exp obs -format bench
+//	                          # tracer overhead measurements (make bench-obs)
+//	cimbench -trace out.json  # run the traced reference workload and write
+//	                          # a Chrome trace_event file (chrome://tracing,
+//	                          # ui.perfetto.dev)
+//	cimbench -attr            # same workload, print the per-span simulated
+//	                          # cost-attribution table
 //
 // Simulated results are bit-identical at every -parallel width: the flag
 // only controls how many OS threads chew through the independent tiles,
@@ -31,23 +38,70 @@ import (
 	"strconv"
 	"strings"
 
+	"cimrev/internal/energy"
 	"cimrev/internal/experiments"
+	"cimrev/internal/obs"
 	"cimrev/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault")
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
 	workers := flag.Int("parallel", 0, "simulation worker-pool width: N goroutines, 1 = serial, 0 = GOMAXPROCS (results are identical at any width)")
-	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault sweep only)")
+	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault/obs only)")
+	trace := flag.String("trace", "", "run the traced reference workload and write Chrome trace_event JSON to this file")
+	attr := flag.Bool("attr", false, "run the traced reference workload and print the cost-attribution table")
 	flag.Parse()
 
 	parallel.SetWidth(*workers)
+	if *trace != "" || *attr {
+		if err := runTrace(*trace, *attr); err != nil {
+			fmt.Fprintln(os.Stderr, "cimbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *sizes, *boards, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "cimbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runTrace executes the traced reference workload (experiments.TraceRun)
+// and emits the requested artifacts: a Chrome trace file, the attribution
+// table, or both. The bit-identity summary always prints — it is the
+// trace's correctness witness (SumRoots == untraced total).
+func runTrace(traceFile string, attr bool) error {
+	res, err := experiments.TraceRun()
+	if err != nil {
+		return err
+	}
+	if !res.BitIdentical() {
+		return fmt.Errorf("trace cost fold %+v != untraced total %+v", res.Traced, res.Untraced)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, res.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cimbench: wrote %d spans to %s\n", len(res.Spans), traceFile)
+	}
+	if attr {
+		fmt.Print(res.Format())
+	} else {
+		fmt.Printf("trace: %d spans, SumRoots bit-identical to untraced total (%s, %s)\n",
+			len(res.Spans),
+			energy.FormatLatency(res.Traced.LatencyPS), energy.FormatEnergy(res.Traced.EnergyPJ))
+	}
+	return nil
 }
 
 // formatter is the common shape of every experiment result.
@@ -58,6 +112,11 @@ type formatter interface{ Format() string }
 type benchFault struct{ res *experiments.FaultResult }
 
 func (b benchFault) Format() string { return b.res.BenchFormat() }
+
+// benchObs does the same for the tracer-overhead measurements.
+type benchObs struct{ res *experiments.ObsResult }
+
+func (b benchObs) Format() string { return b.res.BenchFormat() }
 
 func run(exp, sizeList, boardList, format string) error {
 	sizes, err := parseInts(sizeList)
@@ -71,8 +130,8 @@ func run(exp, sizeList, boardList, format string) error {
 	if format != "text" && format != "bench" {
 		return fmt.Errorf("unknown format %q (want text or bench)", format)
 	}
-	if format == "bench" && exp != "fault" {
-		return fmt.Errorf("-format bench is only supported with -exp fault")
+	if format == "bench" && exp != "fault" && exp != "obs" {
+		return fmt.Errorf("-format bench is only supported with -exp fault or -exp obs")
 	}
 
 	// The canonical experiment order. Each job is independent, so selected
@@ -105,16 +164,32 @@ func run(exp, sizeList, boardList, format string) error {
 			}
 			return res, nil
 		}},
+		{"obs", func() (formatter, error) {
+			res, err := experiments.ObsOverhead()
+			if err != nil {
+				return nil, err
+			}
+			if format == "bench" {
+				return benchObs{res}, nil
+			}
+			return res, nil
+		}},
 	}
 
 	selected := jobs[:0:0]
 	for _, j := range jobs {
+		// The obs overhead measurement is wall-clock timing; it only runs
+		// when asked for explicitly, never as part of -exp all (it would
+		// contend with the other experiments and measure noise).
+		if j.name == "obs" && exp != "obs" {
+			continue
+		}
 		if exp == "all" || exp == j.name {
 			selected = append(selected, j)
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs)", exp)
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {

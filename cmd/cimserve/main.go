@@ -68,6 +68,7 @@ type options struct {
 	reprogram int
 	stuck     float64
 	spares    int
+	listen    string
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -161,6 +162,7 @@ func main() {
 	flag.IntVar(&o.reprogram, "reprogram", 0, "shadow-engine weight swaps to perform mid-run (batch mode)")
 	flag.Float64Var(&o.stuck, "stuck", 0, "stuck-cell rate injected into every crossbar (split evenly GMin/GMax)")
 	flag.IntVar(&o.spares, "spares", 0, "spare columns per crossbar for fault remapping")
+	flag.StringVar(&o.listen, "listen", "", "address for the live telemetry endpoint (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -219,6 +221,18 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
 	fmt.Fprintf(w, "pkg: cimrev/cmd/cimserve\n")
 
+	// The telemetry endpoint (when -listen is set) outlives both modes;
+	// runBatch installs the live registry/pair/breaker into it.
+	tel := &telemetry{}
+	if o.listen != "" {
+		addr, stop, err := startTelemetry(o.listen, tel)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "cimserve: telemetry on http://%s (/metrics /healthz /debug/pprof)\n", addr)
+	}
+
 	var serial, batch runStats
 	if o.mode == "both" || o.mode == "serial" {
 		serial, err = runSerial(cfg, net, inputs, o)
@@ -228,7 +242,7 @@ func run(w io.Writer, o options) error {
 		emit(w, fmt.Sprintf("BenchmarkServe/serial_c%d", o.clients), serial, nil, nil)
 	}
 	if o.mode == "both" || o.mode == "batch" {
-		batch, err = runBatch(cfg, net, netB, inputs, o)
+		batch, err = runBatch(cfg, net, netB, inputs, o, tel)
 		if err != nil {
 			return err
 		}
@@ -322,33 +336,37 @@ func runSerial(cfg dpe.Config, net *nn.Network, inputs [][]float64, o options) (
 // than collapsed into one count: backpressure (ErrOverloaded) retries,
 // breaker sheds (ErrUnhealthy) abandon the request, anything else aborts
 // the run.
-func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options) (runStats, error) {
+func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, tel *telemetry) (runStats, error) {
 	pair, _, err := serve.NewShadowPair(cfg, net)
 	if err != nil {
 		return runStats{}, err
 	}
+	// One registry spans the whole pipeline — the redesigned serve.Config
+	// threads it into both the breaker and the micro-batcher, so the
+	// telemetry endpoint scrapes a single coherent namespace.
+	reg := metrics.NewRegistry()
 	// The breaker sits between the micro-batcher and the shadow pair. With
 	// no faults injected it is transparent; with -stuck past the spare
 	// budget, failed swaps trip it and subsequent requests shed with
 	// ErrUnhealthy instead of silently serving degraded weights.
-	breg := metrics.NewRegistry()
-	brk, err := serve.NewBreaker(pair, serve.BreakerConfig{
-		MaxRetries:  3,
-		BaseBackoff: time.Millisecond,
-		MaxBackoff:  50 * time.Millisecond,
-		Seed:        o.seed,
-		Registry:    breg,
-	})
+	brk, err := serve.NewBreaker(pair,
+		serve.WithRetry(3, time.Millisecond, 50*time.Millisecond),
+		serve.WithSeed(o.seed),
+		serve.WithRegistry(reg),
+	)
 	if err != nil {
 		return runStats{}, err
 	}
-	srv, err := serve.New(brk, serve.Config{
-		MaxBatch:   o.batch,
-		MaxDelay:   o.deadline,
-		QueueBound: o.queue,
-	})
+	srv, err := serve.New(brk,
+		serve.WithBatch(o.batch, o.deadline),
+		serve.WithQueueBound(o.queue),
+		serve.WithRegistry(reg),
+	)
 	if err != nil {
 		return runStats{}, err
+	}
+	if tel != nil {
+		tel.set(reg, pair, brk)
 	}
 
 	var issued, shed, unhealthy, reprogramFailed atomic.Int64
@@ -433,7 +451,7 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		shed:            shed.Load(),
 		unhealthy:       unhealthy.Load(),
 		reprogramFailed: reprogramFailed.Load(),
-		retries:         breg.Counter("serve.reprogram_retries").Value(),
+		retries:         snap.Counters["serve.reprogram_retries"],
 	}
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
 	return st, nil

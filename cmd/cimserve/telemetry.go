@@ -1,0 +1,137 @@
+// Live telemetry endpoint for cimserve: -listen starts an HTTP server
+// exposing the serving pipeline's state while the load runs.
+//
+//   - /metrics    — the serving registry in Prometheus text format
+//     (metrics.Snapshot.WriteProm): request/batch counters, latency and
+//     batch-size summaries, breaker state.
+//   - /healthz    — JSON liveness: the live engine's fault scan (via
+//     ShadowPair.Health, which holds the engine's read gate so the scan
+//     cannot race a reprogram) plus breaker and swap state. 200 when
+//     serving and healthy, 503 when the breaker is open or columns are
+//     lost.
+//   - /debug/pprof — the standard Go profiler endpoints, wired manually
+//     onto the private mux (the default mux is never used, so cimserve
+//     cannot leak handlers into importers).
+//
+// The handlers read only snapshots and atomics; a scrape can never stall
+// the dispatcher or the closed-loop clients. See docs/OBSERVABILITY.md.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"cimrev/internal/metrics"
+	"cimrev/internal/serve"
+)
+
+// telemetry is the shared state the HTTP handlers read. The batch run
+// installs its registry/pair/breaker once they exist; until then the
+// endpoints report "initializing".
+type telemetry struct {
+	mu   sync.Mutex
+	reg  *metrics.Registry
+	pair *serve.ShadowPair
+	brk  *serve.Breaker
+}
+
+// set installs the live serving objects (called once by runBatch).
+func (t *telemetry) set(reg *metrics.Registry, pair *serve.ShadowPair, brk *serve.Breaker) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg, t.pair, t.brk = reg, pair, brk
+}
+
+// get returns the current serving objects (any may be nil early on).
+func (t *telemetry) get() (*metrics.Registry, *serve.ShadowPair, *serve.Breaker) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reg, t.pair, t.brk
+}
+
+// handleMetrics renders the serving registry as Prometheus text.
+func (t *telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg, _, _ := t.get()
+	if reg == nil {
+		http.Error(w, "# registry not initialized yet\n", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.Snapshot().WriteProm(w)
+}
+
+// healthzBody is the /healthz JSON shape.
+type healthzBody struct {
+	Status    string `json:"status"` // "ok", "unhealthy", or "initializing"
+	Tripped   bool   `json:"breaker_tripped"`
+	Swaps     int64  `json:"swaps"`
+	Stages    int    `json:"stages_scanned"`
+	LostCols  int    `json:"lost_cols"`
+	StuckBad  int    `json:"stuck_cells"`
+	Remapped  int    `json:"remapped_cols"`
+	CheckedAt string `json:"checked_at"`
+}
+
+// handleHealthz scans the live engine through the shadow pair's read gate
+// and reports 200 (serving, healthy) or 503 (tripped breaker or lost
+// columns).
+func (t *telemetry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	_, pair, brk := t.get()
+	body := healthzBody{Status: "initializing", CheckedAt: time.Now().UTC().Format(time.RFC3339Nano)}
+	code := http.StatusServiceUnavailable
+	if pair != nil {
+		h := pair.Health()
+		body.Status = "ok"
+		body.Swaps = pair.Swaps()
+		body.Stages = len(h.Stages)
+		body.LostCols = h.Total.LostCols
+		body.StuckBad = h.Total.StuckCells
+		body.Remapped = h.Total.RemappedCols
+		code = http.StatusOK
+		if !h.Healthy() {
+			body.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+		if brk != nil && brk.Tripped() {
+			body.Tripped = true
+			body.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// newTelemetryMux wires the three endpoint families onto a private mux.
+func newTelemetryMux(t *telemetry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.handleMetrics)
+	mux.HandleFunc("/healthz", t.handleHealthz)
+	// Manual pprof wiring: we never touch http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startTelemetry binds addr and serves the telemetry mux in the
+// background, returning the bound address (useful with ":0") and a
+// shutdown func.
+func startTelemetry(addr string, t *telemetry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("cimserve: -listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: newTelemetryMux(t)}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() { _ = srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

@@ -56,6 +56,7 @@ import (
 	"cimrev/internal/energy"
 	"cimrev/internal/faultinject"
 	"cimrev/internal/noise"
+	"cimrev/internal/obs"
 )
 
 // NoNoise is the zero noise source, for MVMs on noise-free configurations.
@@ -290,6 +291,31 @@ func (x *Crossbar) FaultEpoch() uint64 { return x.faultEpoch }
 // serially row by row and slice stacks in parallel, so latency is
 // usedRows x write-latency, and energy covers every programmed cell.
 func (x *Crossbar) Program(w [][]float64) (energy.Cost, error) {
+	return x.program(w)
+}
+
+// ProgramCtx is Program under a trace span: the write (including the full
+// program-and-verify pulse train on the fault path) is recorded as an
+// "xbar.program" child of pc, annotated with the pulse/verify/remap blast
+// radius. A zero Ctx reduces to Program plus two branches.
+func (x *Crossbar) ProgramCtx(pc obs.Ctx, w [][]float64) (energy.Cost, error) {
+	sp := pc.Child("xbar.program")
+	cost, err := x.program(w)
+	if sp.Active() {
+		sp.Annotate("rows", float64(x.usedRows))
+		sp.Annotate("cols", float64(x.usedCols))
+		if x.faults.Enabled() {
+			rep := x.faultReport
+			sp.Annotate("retry_pulses", float64(rep.RetryPulses))
+			sp.Annotate("remapped_cols", float64(rep.RemappedCols))
+			sp.Annotate("lost_cols", float64(rep.LostCols))
+		}
+	}
+	sp.End(cost)
+	return cost, err
+}
+
+func (x *Crossbar) program(w [][]float64) (energy.Cost, error) {
 	if len(w) == 0 || len(w) > x.cfg.Rows {
 		return energy.Zero, fmt.Errorf("crossbar: weight rows %d outside [1,%d]", len(w), x.cfg.Rows)
 	}
@@ -603,6 +629,21 @@ func (x *Crossbar) MVM(input []float64, ns noise.Source) ([]float64, energy.Cost
 		return nil, energy.Zero, err
 	}
 	return out, cost, nil
+}
+
+// MVMIntoCtx is MVMInto under a trace span: the analog read is recorded
+// as an "xbar.mvm" child of pc carrying the MVM's simulated cost. With a
+// zero Ctx (tracing off) it is the raw kernel plus one branch — zero
+// allocations, preserving the hot-path contract (see docs/OBSERVABILITY.md
+// and BenchmarkCrossbarMVMTracingOff).
+func (x *Crossbar) MVMIntoCtx(pc obs.Ctx, dst, input []float64, ns noise.Source) (energy.Cost, error) {
+	if !pc.Active() {
+		return x.MVMInto(dst, input, ns)
+	}
+	sp := pc.Child("xbar.mvm")
+	cost, err := x.MVMInto(dst, input, ns)
+	sp.End(cost)
+	return cost, err
 }
 
 // MVMInto is MVM writing the result into dst (len usedCols). It is the

@@ -7,6 +7,7 @@ import (
 	"cimrev/internal/energy"
 	"cimrev/internal/faultinject"
 	"cimrev/internal/noise"
+	"cimrev/internal/obs"
 	"cimrev/internal/parallel"
 )
 
@@ -130,6 +131,14 @@ func (t *Tile) Writes() int64 {
 // returns the programming cost: blocks program in parallel (latency = max
 // block latency), energy sums.
 func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
+	return t.ProgramCtx(obs.Ctx{}, w)
+}
+
+// ProgramCtx is Program under a trace span: the whole tile write is a
+// "tile.program" child of pc, with one "xbar.program" grandchild per block
+// (blocks program from pool workers; span recording is concurrency-safe).
+// A zero Ctx traces nothing.
+func (t *Tile) ProgramCtx(pc obs.Ctx, w [][]float64) (energy.Cost, error) {
 	m := len(w)
 	if m == 0 {
 		return energy.Zero, fmt.Errorf("crossbar: empty weight matrix")
@@ -143,6 +152,8 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 			return energy.Zero, fmt.Errorf("crossbar: ragged matrix at row %d", r)
 		}
 	}
+
+	sp := pc.Child("tile.program")
 
 	brows := (m + t.cfg.Rows - 1) / t.cfg.Rows
 	bcols := (n + t.cfg.Cols - 1) / t.cfg.Cols
@@ -198,7 +209,7 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 		if err := xb.SetFaults(t.faults, bsrc); err != nil {
 			return fmt.Errorf("crossbar: block (%d,%d) faults: %w", br, bc, err)
 		}
-		c, err := xb.Program(sub)
+		c, err := xb.ProgramCtx(sp, sub)
 		if err != nil {
 			return fmt.Errorf("crossbar: program block (%d,%d): %w", br, bc, err)
 		}
@@ -206,6 +217,7 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 		return nil
 	})
 	if err != nil {
+		sp.End(energy.Zero)
 		return energy.Zero, err
 	}
 	cost := energy.Zero
@@ -214,6 +226,10 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 	}
 	t.rows, t.cols = m, n
 	t.programmed = true
+	if sp.Active() {
+		sp.Annotate("blocks", float64(brows*bcols))
+	}
+	sp.End(cost)
 	return cost, nil
 }
 
@@ -223,6 +239,21 @@ func (t *Tile) Program(w [][]float64) (energy.Cost, error) {
 // results for each column-block are merged with digital adds in fixed
 // (br, bc) order.
 func (t *Tile) MVM(input []float64, ns noise.Source) ([]float64, energy.Cost, error) {
+	return t.MVMCtx(obs.Ctx{}, input, ns)
+}
+
+// MVMCtx is MVM under a trace span: the tile-level MVM is a "tile.mvm"
+// child of pc with one "xbar.mvm" grandchild per block. With a zero Ctx it
+// is the plain kernel plus per-block nil-check branches — the serving hot
+// path stays allocation-free when tracing is off.
+func (t *Tile) MVMCtx(pc obs.Ctx, input []float64, ns noise.Source) ([]float64, energy.Cost, error) {
+	sp := pc.Child("tile.mvm")
+	out, cost, err := t.mvm(sp, input, ns)
+	sp.End(cost)
+	return out, cost, err
+}
+
+func (t *Tile) mvm(sp obs.Ctx, input []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	if !t.programmed {
 		return nil, energy.Zero, fmt.Errorf("crossbar: tile MVM before Program")
 	}
@@ -253,7 +284,7 @@ func (t *Tile) MVM(input []float64, ns noise.Source) ([]float64, energy.Cost, er
 			bns = ns.Derive(uint64(b))
 		}
 		dst := s.outs[b*stride : b*stride+(c1-c0)]
-		c, err := t.blocks[br][bc].MVMInto(dst, input[r0:r1], bns)
+		c, err := t.blocks[br][bc].MVMIntoCtx(sp, dst, input[r0:r1], bns)
 		if err != nil {
 			return fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
 		}

@@ -32,6 +32,7 @@ import (
 	"cimrev/internal/faultinject"
 	"cimrev/internal/nn"
 	"cimrev/internal/noise"
+	"cimrev/internal/obs"
 	"cimrev/internal/parallel"
 )
 
@@ -159,6 +160,23 @@ func (e *Engine) WeightBytes() float64 {
 // the independent layers across the worker pool; per-layer costs fold in
 // layer order so the total is identical at any pool width.
 func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
+	return e.LoadCtx(obs.Ctx{}, net)
+}
+
+// LoadCtx is Load with tracing: it opens a "dpe.load" span whose children
+// are the per-layer tile.program spans (which the worker pool may retire
+// in any order — attribution is by parent ID, not position).
+func (e *Engine) LoadCtx(pc obs.Ctx, net *nn.Network) (energy.Cost, error) {
+	sp := pc.Child("dpe.load")
+	cost, err := e.load(sp, net)
+	if sp.Active() {
+		sp.Annotate("layers", float64(len(e.stages)))
+	}
+	sp.End(cost)
+	return cost, err
+}
+
+func (e *Engine) load(sp obs.Ctx, net *nn.Network) (energy.Cost, error) {
 	if net == nil || len(net.Layers) == 0 {
 		return energy.Zero, fmt.Errorf("dpe: empty network")
 	}
@@ -173,7 +191,7 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 			if err != nil {
 				return err
 			}
-			cost, err := tile.Program(l.WeightMatrix())
+			cost, err := tile.ProgramCtx(sp, l.WeightMatrix())
 			if err != nil {
 				return fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
 			}
@@ -184,7 +202,7 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 			if err != nil {
 				return err
 			}
-			cost, err := tile.Program(l.Im2ColMatrix())
+			cost, err := tile.ProgramCtx(sp, l.Im2ColMatrix())
 			if err != nil {
 				return fmt.Errorf("dpe: program layer %d (%s): %w", i, l.Name(), err)
 			}
@@ -222,6 +240,25 @@ func (e *Engine) Load(net *nn.Network) (energy.Cost, error) {
 // hiding of Section VI) and only a reconfiguration swap appears on the
 // critical path.
 func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
+	return e.ReprogramCtx(obs.Ctx{}, net, hide)
+}
+
+// ReprogramCtx is Reprogram with tracing: a "dpe.reprogram" span whose
+// children are the per-layer tile.program spans. The span cost is the
+// *visible* (possibly hidden) cost — the same value the caller folds.
+func (e *Engine) ReprogramCtx(pc obs.Ctx, net *nn.Network, hide bool) (energy.Cost, error) {
+	sp := pc.Child("dpe.reprogram")
+	cost, err := e.reprogram(sp, net, hide)
+	if sp.Active() {
+		if hide {
+			sp.Annotate("hidden", 1)
+		}
+	}
+	sp.End(cost)
+	return cost, err
+}
+
+func (e *Engine) reprogram(sp obs.Ctx, net *nn.Network, hide bool) (energy.Cost, error) {
 	if e.net == nil {
 		return energy.Zero, fmt.Errorf("dpe: Reprogram before Load")
 	}
@@ -238,7 +275,7 @@ func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
 			if s.dense == nil || s.dense.InSize() != l.InSize() || s.dense.OutSize() != l.OutSize() {
 				return fmt.Errorf("dpe: layer %d shape mismatch", i)
 			}
-			c, err := s.tile.Program(l.WeightMatrix())
+			c, err := s.tile.ProgramCtx(sp, l.WeightMatrix())
 			if err != nil {
 				return err
 			}
@@ -248,7 +285,7 @@ func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
 			if s.conv == nil || s.conv.InSize() != l.InSize() || s.conv.OutSize() != l.OutSize() {
 				return fmt.Errorf("dpe: layer %d shape mismatch", i)
 			}
-			c, err := s.tile.Program(l.Im2ColMatrix())
+			c, err := s.tile.ProgramCtx(sp, l.Im2ColMatrix())
 			if err != nil {
 				return err
 			}
@@ -285,6 +322,20 @@ func (e *Engine) Reprogram(net *nn.Network, hide bool) (energy.Cost, error) {
 // only on (seed, inference index since Load) — not on batching or pool
 // width.
 func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
+	return e.InferCtx(obs.Ctx{}, in)
+}
+
+// InferCtx is Infer with tracing: a "dpe.infer" span with one child per
+// stage ("dpe.dense" / "dpe.conv" / "dpe.digital"), each carrying that
+// stage's cost and wrapping the tile.mvm spans beneath it.
+func (e *Engine) InferCtx(pc obs.Ctx, in []float64) ([]float64, energy.Cost, error) {
+	sp := pc.Child("dpe.infer")
+	out, cost, err := e.infer(sp, in)
+	sp.End(cost)
+	return out, cost, err
+}
+
+func (e *Engine) infer(sp obs.Ctx, in []float64) ([]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: Infer before Load")
 	}
@@ -295,7 +346,7 @@ func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 	v := in
 	total := energy.Zero
 	for i := range e.stages {
-		out, cost, err := e.runStage(&e.stages[i], v, perInf.Derive(uint64(i)))
+		out, cost, err := e.runStage(sp, &e.stages[i], v, perInf.Derive(uint64(i)))
 		if err != nil {
 			return nil, energy.Zero, fmt.Errorf("dpe: stage %d (%s): %w", i, e.stages[i].layer.Name(), err)
 		}
@@ -309,12 +360,15 @@ func (e *Engine) Infer(in []float64) ([]float64, energy.Cost, error) {
 // runStage executes one stage. ns is the stage's derived noise stream
 // (src.Derive(inference).Derive(stageIndex)); conv stages derive one child
 // per im2col patch, and tiles derive one grandchild per block, so every
-// analog draw in the engine has a unique position-keyed counter.
-func (e *Engine) runStage(s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
+// analog draw in the engine has a unique position-keyed counter. pc is
+// the enclosing inference span; each stage opens one child under it.
+func (e *Engine) runStage(pc obs.Ctx, s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	switch {
 	case s.dense != nil:
-		out, cost, err := s.tile.MVM(in, ns)
+		sp := pc.Child("dpe.dense")
+		out, cost, err := s.tile.MVMCtx(sp, in, ns)
 		if err != nil {
+			sp.End(energy.Zero)
 			return nil, energy.Zero, err
 		}
 		for o := range out {
@@ -322,11 +376,21 @@ func (e *Engine) runStage(s *stage, in []float64, ns noise.Source) ([]float64, e
 		}
 		// Bias adds ride the existing shift-add hardware.
 		cost = cost.Seq(energy.Cost{EnergyPJ: float64(len(out)) * energy.ShiftAddEnergyPJ})
+		sp.End(cost)
 		return out, cost, nil
 	case s.conv != nil:
-		return e.runConv(s, in, ns)
+		sp := pc.Child("dpe.conv")
+		out, cost, err := e.runConv(sp, s, in, ns)
+		if sp.Active() && err == nil {
+			sp.Annotate("patches", float64(s.conv.OutH()*s.conv.OutW()))
+		}
+		sp.End(cost)
+		return out, cost, err
 	default:
-		return e.runDigital(s.layer, in)
+		sp := pc.Child("dpe.digital")
+		out, cost, err := e.runDigital(s.layer, in)
+		sp.End(cost)
+		return out, cost, err
 	}
 }
 
@@ -334,7 +398,7 @@ func (e *Engine) runStage(s *stage, in []float64, ns noise.Source) ([]float64, e
 // process patches concurrently: latency covers ceil(patches/replicas)
 // waves, energy covers every patch. Patch (oy, ox) draws noise from
 // ns.Derive(oy*outW+ox), independent of streaming order.
-func (e *Engine) runConv(s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
+func (e *Engine) runConv(pc obs.Ctx, s *stage, in []float64, ns noise.Source) ([]float64, energy.Cost, error) {
 	l := s.conv
 	oh, ow := l.OutH(), l.OutW()
 	out := make([]float64, oh*ow*l.F)
@@ -346,7 +410,7 @@ func (e *Engine) runConv(s *stage, in []float64, ns noise.Source) ([]float64, en
 			if err != nil {
 				return nil, energy.Zero, err
 			}
-			y, cost, err := s.tile.MVM(patch, ns.Derive(uint64(oy*ow+ox)))
+			y, cost, err := s.tile.MVMCtx(pc, patch, ns.Derive(uint64(oy*ow+ox)))
 			if err != nil {
 				return nil, energy.Zero, err
 			}
@@ -393,6 +457,26 @@ func (e *Engine) runDigital(layer nn.Layer, in []float64) ([]float64, energy.Cos
 // outputs match the same inputs run through Infer one at a time, and the
 // outputs and returned cost are bit-identical at any pool width.
 func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	return e.InferBatchCtx(obs.Ctx{}, inputs)
+}
+
+// InferBatchCtx is InferBatch with tracing: a "dpe.infer_batch" span
+// (annotated with the batch size) whose children are per-item "dpe.infer"
+// spans. The batch span's cost is the pipelined batch cost — fill +
+// (n-1)×bottleneck — which is deliberately *less* than the sum of its
+// children's serial costs; attribution reports both, and the self column
+// clamps at zero.
+func (e *Engine) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	sp := pc.Child("dpe.infer_batch")
+	outs, cost, err := e.inferBatch(sp, inputs)
+	if sp.Active() {
+		sp.Annotate("batch", float64(len(inputs)))
+	}
+	sp.End(cost)
+	return outs, cost, err
+}
+
+func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
 	}
@@ -411,12 +495,14 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 	stageMaxes := make([]int64, len(inputs))
 	if err := parallel.ForErr(len(inputs), func(i int) error {
 		perInf := e.src.Derive(seq0 + uint64(i))
+		item := sp.Child("dpe.infer")
 		v := inputs[i]
 		var stageMax int64
 		total := energy.Zero
 		for s := range e.stages {
-			out, cost, err := e.runStage(&e.stages[s], v, perInf.Derive(uint64(s)))
+			out, cost, err := e.runStage(item, &e.stages[s], v, perInf.Derive(uint64(s)))
 			if err != nil {
+				item.End(energy.Zero)
 				return fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
 			}
 			total = total.Seq(cost)
@@ -425,6 +511,7 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 			}
 			v = out
 		}
+		item.End(total)
 		outs[i], totals[i], stageMaxes[i] = v, total, stageMax
 		e.inferences.Add(1)
 		return nil

@@ -18,6 +18,7 @@ import (
 	"cimrev/internal/crossbar"
 	"cimrev/internal/energy"
 	"cimrev/internal/faultinject"
+	"cimrev/internal/obs"
 	"cimrev/internal/parallel"
 )
 
@@ -112,6 +113,20 @@ func (e *Engine) HealthCheck() Health {
 // stage cost and energy sums — the same fold as Load). Repairing a
 // healthy engine returns zero cost. Repair must not race inference.
 func (e *Engine) Repair() (energy.Cost, Health, error) {
+	return e.RepairCtx(obs.Ctx{})
+}
+
+// RepairCtx is Repair with tracing: a "dpe.repair" span (annotated with
+// the number of stages reprogrammed) whose children are the per-stage
+// tile.program spans.
+func (e *Engine) RepairCtx(pc obs.Ctx) (energy.Cost, Health, error) {
+	sp := pc.Child("dpe.repair")
+	cost, h, err := e.repair(sp)
+	sp.End(cost)
+	return cost, h, err
+}
+
+func (e *Engine) repair(sp obs.Ctx) (energy.Cost, Health, error) {
 	if e.net == nil {
 		return energy.Zero, Health{}, fmt.Errorf("dpe: Repair before Load")
 	}
@@ -122,6 +137,9 @@ func (e *Engine) Repair() (energy.Cost, Health, error) {
 			bad = append(bad, i)
 		}
 	}
+	if sp.Active() {
+		sp.Annotate("stages", float64(len(bad)))
+	}
 	if len(bad) == 0 {
 		return energy.Zero, e.HealthCheck(), nil
 	}
@@ -130,13 +148,13 @@ func (e *Engine) Repair() (energy.Cost, Health, error) {
 		s := &e.stages[bad[k]]
 		switch {
 		case s.dense != nil:
-			c, err := s.tile.Program(s.dense.WeightMatrix())
+			c, err := s.tile.ProgramCtx(sp, s.dense.WeightMatrix())
 			if err != nil {
 				return fmt.Errorf("dpe: repair stage %d (%s): %w", bad[k], s.layer.Name(), err)
 			}
 			costs[k] = c
 		case s.conv != nil:
-			c, err := s.tile.Program(s.conv.Im2ColMatrix())
+			c, err := s.tile.ProgramCtx(sp, s.conv.Im2ColMatrix())
 			if err != nil {
 				return fmt.Errorf("dpe: repair stage %d (%s): %w", bad[k], s.layer.Name(), err)
 			}

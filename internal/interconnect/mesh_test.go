@@ -262,8 +262,8 @@ func TestMeshMetrics(t *testing.T) {
 	if s.Counters["mesh.transfers"] != 1 {
 		t.Errorf("mesh.transfers = %d, want 1", s.Counters["mesh.transfers"])
 	}
-	if s.Means["mesh.hops"] != 6 {
-		t.Errorf("mesh.hops mean = %g, want 6", s.Means["mesh.hops"])
+	if got := s.Histograms["mesh.hops"].Mean(); got != 6 {
+		t.Errorf("mesh.hops mean = %g, want 6", got)
 	}
 }
 

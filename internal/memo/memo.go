@@ -43,7 +43,11 @@ type Table struct {
 	name  string
 	fn    Func
 	store *kvs.Store
-	reg   *metrics.Registry
+
+	// Interned metric handles, resolved once at construction: the call
+	// path touches only their lock-free atomics, never a registry lookup.
+	// All nil when the table was built without a registry.
+	hits, misses, shared *metrics.Counter
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -68,7 +72,13 @@ func NewTable(name string, fn Func, store *kvs.Store, reg *metrics.Registry) (*T
 	if store == nil {
 		return nil, fmt.Errorf("memo: nil store")
 	}
-	return &Table{name: name, fn: fn, store: store, reg: reg, inflight: make(map[string]*flight)}, nil
+	t := &Table{name: name, fn: fn, store: store, inflight: make(map[string]*flight)}
+	if reg != nil {
+		t.hits = reg.Counter("memo.hits")
+		t.misses = reg.Counter("memo.misses")
+		t.shared = reg.Counter("memo.shared")
+	}
+	return t, nil
 }
 
 func (t *Table) key(in []float64) string {
@@ -122,9 +132,9 @@ func (t *Table) Call(in []float64) ([]float64, energy.Cost, bool, error) {
 		if f.err != nil {
 			return nil, energy.Zero, false, f.err
 		}
-		if t.reg != nil {
-			t.reg.Counter("memo.hits").Inc()
-			t.reg.Counter("memo.shared").Inc()
+		if t.hits != nil {
+			t.hits.Inc()
+			t.shared.Inc()
 		}
 		out := append([]float64(nil), f.out...)
 		return out, energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}, true, nil
@@ -161,8 +171,8 @@ func (t *Table) lookup(key string) ([]float64, energy.Cost, bool, error) {
 	if err != nil {
 		return nil, energy.Zero, false, err
 	}
-	if t.reg != nil {
-		t.reg.Counter("memo.hits").Inc()
+	if t.hits != nil {
+		t.hits.Inc()
 	}
 	return out, energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}, true, nil
 }
@@ -183,22 +193,21 @@ func (t *Table) compute(key string, in []float64) ([]float64, energy.Cost, bool,
 	if err := t.store.Put(key, encode(out)); err != nil {
 		return nil, energy.Zero, false, err
 	}
-	if t.reg != nil {
-		t.reg.Counter("memo.misses").Inc()
+	if t.misses != nil {
+		t.misses.Inc()
 	}
 	cost := energy.Cost{LatencyPS: lookupLatencyPS, EnergyPJ: lookupEnergyPJ}.
 		Seq(computeCost, energy.Cost{LatencyPS: storeLatencyPS, EnergyPJ: storeEnergyPJ})
 	return out, cost, false, nil
 }
 
-// HitRate returns hits / (hits + misses) from the registry, or 0 without
-// one.
+// HitRate returns hits / (hits + misses) from the table's interned
+// counter handles, or 0 when built without a registry.
 func (t *Table) HitRate() float64 {
-	if t.reg == nil {
+	if t.hits == nil {
 		return 0
 	}
-	s := t.reg.Snapshot()
-	h, m := s.Counters["memo.hits"], s.Counters["memo.misses"]
+	h, m := t.hits.Value(), t.misses.Value()
 	if h+m == 0 {
 		return 0
 	}

@@ -215,10 +215,17 @@ func (s HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1)
-// using bucket upper edges. Returns 0 for an empty snapshot.
+// using bucket upper edges, clamped into [Min, Max] so the log₂ bucket
+// granularity can never report a quantile outside the observed range.
+// Degenerate distributions short-circuit: an empty snapshot returns 0, and
+// a single observation (or any all-equal stream, where Min == Max) returns
+// that value exactly for every q instead of interpolating empty buckets.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
+	}
+	if s.Min == s.Max {
+		return s.Min
 	}
 	if q < 0 {
 		q = 0
@@ -244,10 +251,21 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	for i, n := range s.Buckets {
 		cum += n
 		if cum >= target {
-			return BucketUpperEdge(i)
+			return s.clamp(BucketUpperEdge(i))
 		}
 	}
 	return s.Max
+}
+
+// clamp bounds a bucket-edge estimate into the observed [Min, Max] range.
+func (s HistogramSnapshot) clamp(v float64) float64 {
+	if v < s.Min {
+		return s.Min
+	}
+	if v > s.Max {
+		return s.Max
+	}
+	return v
 }
 
 // Rate tracks a quantity accumulated over simulated time, reporting units
@@ -277,127 +295,142 @@ func (r *Rate) PerSecond() float64 {
 	return r.totalQty / (float64(r.totalPS) * 1e-12)
 }
 
-// Registry is a named collection of metrics. All accessors create the metric
-// on first use. Registry is safe for concurrent use.
+// Kind identifies the metric type a name is interned as. A Registry holds
+// one namespace across all kinds: the first accessor to use a name fixes
+// its kind, and re-requesting the same name as a different kind panics —
+// a silent counter/gauge split under one name is a telemetry bug, not a
+// recoverable condition.
+type Kind uint8
+
+// Metric kinds, in Snapshot/exposition order.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindRate
+)
+
+// String names the kind for error messages and exposition.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindRate:
+		return "rate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// entry is one interned metric: its fixed kind plus the live instrument.
+type entry struct {
+	kind Kind
+	m    any
+}
+
+// Registry is a single named namespace of metrics. Accessors intern: the
+// first call for a name creates the instrument, later calls return the
+// same handle, and a name can only ever hold one kind (conflicts panic).
+//
+// Handles are the intended hot-path interface: call Counter/Gauge/
+// Histogram/Rate once at setup, hold the typed handle, and touch only its
+// lock-free atomics per event. The registry mutex guards interning and
+// Snapshot only — never a recorded observation.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	rates      map[string]*Rate
+	mu      sync.Mutex
+	metrics map[string]entry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-		rates:      make(map[string]*Rate),
-	}
+	return &Registry{metrics: make(map[string]entry)}
 }
 
-// Counter returns the named counter, creating it if needed.
+// intern returns the instrument registered under name, creating it with
+// mk on first use. It panics if name is already interned as another kind.
+func (r *Registry) intern(name string, k Kind, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("metrics: %q already registered as %s, requested as %s", name, e.kind, k))
+		}
+		return e.m
+	}
+	m := mk()
+	r.metrics[name] = entry{kind: k, m: m}
+	return m
+}
+
+// Counter returns the named counter handle, interning it on first use.
+// Panics if name is already registered as a different kind.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
+	return r.intern(name, KindCounter, func() any { return &Counter{} }).(*Counter)
 }
 
-// Gauge returns the named gauge, creating it if needed.
+// Gauge returns the named gauge handle, interning it on first use.
+// Panics if name is already registered as a different kind.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
-	}
-	return g
+	return r.intern(name, KindGauge, func() any { return &Gauge{} }).(*Gauge)
 }
 
-// Histogram returns the named histogram, creating it if needed.
+// Histogram returns the named histogram handle, interning it on first use.
+// Panics if name is already registered as a different kind.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = NewHistogram()
-		r.histograms[name] = h
-	}
-	return h
+	return r.intern(name, KindHistogram, func() any { return NewHistogram() }).(*Histogram)
 }
 
-// Rate returns the named rate, creating it if needed.
+// Rate returns the named rate handle, interning it on first use.
+// Panics if name is already registered as a different kind.
 func (r *Registry) Rate(name string) *Rate {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rt, ok := r.rates[name]
-	if !ok {
-		rt = &Rate{}
-		r.rates[name] = rt
-	}
-	return rt
+	return r.intern(name, KindRate, func() any { return &Rate{} }).(*Rate)
 }
 
-// Snapshot is a point-in-time copy of scalar metric values.
+// Snapshot is a point-in-time copy of every metric in the registry. The
+// name set is read in one pass under the registry lock, so a snapshot is
+// self-consistent: every interned metric appears in exactly one map, and
+// a metric interned mid-snapshot is either fully present or fully absent
+// — never half-read. Histogram snapshots carry the full bucket state
+// (min/max/quantiles); the mean is a method on HistogramSnapshot, not a
+// separate parallel map that could drift from it.
 type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]float64
-	Means    map[string]float64 // histogram means
 	Rates    map[string]float64 // units per virtual second
 	// Histograms carries the full per-histogram snapshot (buckets,
-	// min/max, quantiles) for consumers that need more than the mean —
-	// the serving benchmark reports p50/p95/p99 from here.
+	// min/max, quantiles) — the serving benchmark reports p50/p95/p99
+	// from here and means via HistogramSnapshot.Mean.
 	Histograms map[string]HistogramSnapshot
 }
 
-// Snapshot copies all current values.
+// Snapshot copies all current values in one pass under the registry lock.
+// Individual instruments are still written lock-free while the snapshot
+// runs; each value read is that instrument's usual monitoring-consistency
+// read.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		hists[k] = v
-	}
-	rates := make(map[string]*Rate, len(r.rates))
-	for k, v := range r.rates {
-		rates[k] = v
-	}
-	r.mu.Unlock()
-
+	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters:   make(map[string]int64, len(counters)),
-		Gauges:     make(map[string]float64, len(gauges)),
-		Means:      make(map[string]float64, len(hists)),
-		Rates:      make(map[string]float64, len(rates)),
-		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Rates:      make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
-	for k, v := range counters {
-		s.Counters[k] = v.Value()
-	}
-	for k, v := range gauges {
-		s.Gauges[k] = v.Value()
-	}
-	for k, v := range hists {
-		hs := v.Snapshot()
-		s.Means[k] = hs.Mean()
-		s.Histograms[k] = hs
-	}
-	for k, v := range rates {
-		s.Rates[k] = v.PerSecond()
+	for name, e := range r.metrics {
+		switch e.kind {
+		case KindCounter:
+			s.Counters[name] = e.m.(*Counter).Value()
+		case KindGauge:
+			s.Gauges[name] = e.m.(*Gauge).Value()
+		case KindHistogram:
+			s.Histograms[name] = e.m.(*Histogram).Snapshot()
+		case KindRate:
+			s.Rates[name] = e.m.(*Rate).PerSecond()
+		}
 	}
 	return s
 }
@@ -424,7 +457,15 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "counter %s = %d\n", k, s.Counters[k])
 	}
 	writeSorted("gauge", s.Gauges)
-	writeSorted("hist-mean", s.Means)
+	hkeys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "hist %s = count %d mean %g p99 %g\n", k, h.Count, h.Mean(), h.Quantile(0.99))
+	}
 	writeSorted("rate", s.Rates)
 	return b.String()
 }

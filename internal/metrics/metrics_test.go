@@ -222,11 +222,18 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	if s2.Buckets[1] != 1 {
 		t.Errorf("1.999... in bucket 1? counts=%v", s2.Buckets[:3])
 	}
-	// Quantile returns upper edges.
+	// Quantile returns upper edges, clamped to the observed range; a
+	// single observation reports itself exactly (min == max fast path).
 	h3 := NewHistogram()
 	h3.Observe(3) // bucket 2: [2,4)
-	if got := h3.Quantile(0.5); got != 4 {
-		t.Errorf("Quantile(0.5) of {3} = %g, want upper edge 4", got)
+	if got := h3.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) of {3} = %g, want 3 (single observation)", got)
+	}
+	h4 := NewHistogram()
+	h4.Observe(3)
+	h4.Observe(3.5) // same bucket [2,4): edge 4 clamps to max 3.5
+	if got := h4.Quantile(0.99); got != 3.5 {
+		t.Errorf("Quantile(0.99) of {3,3.5} = %g, want clamp to max 3.5", got)
 	}
 	if got := BucketUpperEdge(0); got != 1 {
 		t.Errorf("BucketUpperEdge(0) = %g, want 1", got)
@@ -241,8 +248,8 @@ func TestHistogramSnapshotIndependent(t *testing.T) {
 	if s.Count != 1 || s.Max != 5 {
 		t.Errorf("snapshot mutated by later observes: %+v", s)
 	}
-	if got := s.Quantile(1); got != 8 {
-		t.Errorf("snapshot Quantile(1) = %g, want 8 (upper edge of [4,8))", got)
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("snapshot Quantile(1) = %g, want 5 (single observation)", got)
 	}
 	if h.Count() != 2 {
 		t.Errorf("live count = %d, want 2", h.Count())
@@ -316,8 +323,8 @@ func TestRegistrySnapshot(t *testing.T) {
 	if s.Gauges["load"] != 0.5 {
 		t.Errorf("snapshot gauge = %g, want 0.5", s.Gauges["load"])
 	}
-	if s.Means["lat"] != 15 {
-		t.Errorf("snapshot hist mean = %g, want 15", s.Means["lat"])
+	if got := s.Histograms["lat"].Mean(); got != 15 {
+		t.Errorf("snapshot hist mean = %g, want 15", got)
 	}
 	if math.Abs(s.Rates["bw"]-100) > 1e-9 {
 		t.Errorf("snapshot rate = %g, want 100", s.Rates["bw"])

@@ -1,0 +1,109 @@
+// Prometheus text-format exposition for metric snapshots. This backs the
+// cimserve -listen /metrics endpoint: WriteProm renders a Snapshot, so
+// scrapes never hold the registry lock longer than one Snapshot() pass and
+// never block the lock-free recording path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promQuantiles are the summary quantiles exposed per histogram.
+var promQuantiles = []float64{0.5, 0.95, 0.99}
+
+// PromName sanitizes a registry metric name into a Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_' (dots in the dotted
+// registry names included), and a leading digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4), sorted by metric name for stable scrapes:
+//
+//   - counters as TYPE counter
+//   - gauges and rates as TYPE gauge (rates get a _per_second suffix —
+//     they are averages over *simulated* time, not scrape-window deltas)
+//   - histograms as TYPE summary with p50/p95/p99 quantile series plus
+//     _sum, _count, _min, and _max
+func (s Snapshot) WriteProm(w io.Writer) error {
+	names := func(n int) []string { return make([]string, 0, n) }
+
+	ks := names(len(s.Counters))
+	for k := range s.Counters {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		n := PromName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+
+	ks = names(len(s.Gauges))
+	for k := range s.Gauges {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		n := PromName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+
+	ks = names(len(s.Rates))
+	for k := range s.Rates {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		n := PromName(k) + "_per_second"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Rates[k]); err != nil {
+			return err
+		}
+	}
+
+	ks = names(len(s.Histograms))
+	for k := range s.Histograms {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		n := PromName(k)
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n%s_min %g\n%s_max %g\n",
+			n, h.Sum, n, h.Count, n, h.Min, n, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"serve.requests", "serve_requests"},
+		{"xbar.mvm-total", "xbar_mvm_total"},
+		{"plain", "plain"},
+		{"9lives", "_9lives"},
+		{"a:b_c", "a:b_c"},
+	}
+	for _, tt := range tests {
+		if got := PromName(tt.in); got != tt.want {
+			t.Errorf("PromName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(12)
+	r.Gauge("serve.probe_accuracy").Set(0.97)
+	r.Rate("link.bw").Record(100, 1e12)
+	h := r.Histogram("serve.latency_ns")
+	h.Observe(100)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests 12\n",
+		"# TYPE serve_probe_accuracy gauge\nserve_probe_accuracy 0.97\n",
+		"# TYPE link_bw_per_second gauge\nlink_bw_per_second 100\n",
+		"# TYPE serve_latency_ns summary\n",
+		`serve_latency_ns{quantile="0.5"} 100`,
+		`serve_latency_ns{quantile="0.99"} 100`,
+		"serve_latency_ns_sum 200\n",
+		"serve_latency_ns_count 2\n",
+		"serve_latency_ns_min 100\n",
+		"serve_latency_ns_max 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders of the same snapshot are identical.
+	var b2 strings.Builder
+	if err := r.Snapshot().WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WriteProm output not deterministic")
+	}
+}

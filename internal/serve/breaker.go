@@ -23,6 +23,10 @@
 // The Server's flush loop recognizes ErrUnhealthy and sheds whole batches
 // without the per-request fallback — retrying one request at a time
 // against a tripped breaker is pure waste.
+//
+// The Breaker shares the pipeline-wide serve.Config: NewBreaker takes the
+// same functional options as New, consuming the retry/backoff/probe fields
+// (WithRetry, WithProbe, WithSeed) plus the shared Registry and Tracer.
 package serve
 
 import (
@@ -35,6 +39,7 @@ import (
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/noise"
+	"cimrev/internal/obs"
 )
 
 // ErrUnhealthy is the typed sentinel for health-driven load shedding: a
@@ -60,49 +65,21 @@ func (e *UnhealthyError) Error() string {
 // Unwrap makes errors.Is(err, ErrUnhealthy) true.
 func (e *UnhealthyError) Unwrap() error { return ErrUnhealthy }
 
-// BreakerConfig configures a Breaker.
-type BreakerConfig struct {
-	// MinAccuracy is the probe-accuracy floor in [0, 1]. A post-swap probe
-	// below it trips the breaker. With no probe set, accuracy gating is
-	// skipped and only reprogram failures can trip.
-	MinAccuracy float64
-	// ProbeInputs / ProbeLabels are the labeled holdout set probed after
-	// every swap. Labels are argmax class indices. Both may be empty
-	// (disables probing); lengths must match.
-	ProbeInputs [][]float64
-	ProbeLabels []int
-	// MaxRetries bounds how many times a failed Reprogram is retried
-	// (total attempts = MaxRetries + 1). Zero disables retries.
-	MaxRetries int
-	// BaseBackoff is the first retry's nominal delay; attempt k waits
-	// BaseBackoff << k, capped at MaxBackoff, scaled by a jitter factor
-	// in [0.5, 1). Zero disables sleeping (retries run back to back).
-	BaseBackoff time.Duration
-	// MaxBackoff caps the exponential growth. Zero means uncapped.
-	MaxBackoff time.Duration
-	// Seed keys the jitter stream. Jitter draws are a pure function of
-	// (Seed, attempt counter), so retry schedules replay exactly.
-	Seed int64
-	// Registry receives breaker metrics. Nil selects a private registry.
-	Registry *metrics.Registry
+// breakerMetrics holds the breaker's interned metric handles.
+type breakerMetrics struct {
+	shed     *metrics.Counter
+	trips    *metrics.Counter
+	retries  *metrics.Counter
+	probeAcc *metrics.Gauge
 }
 
-// Validate reports whether the configuration is usable.
-func (c BreakerConfig) Validate() error {
-	switch {
-	case c.MinAccuracy < 0 || c.MinAccuracy > 1:
-		return fmt.Errorf("serve: MinAccuracy must be in [0, 1], got %g", c.MinAccuracy)
-	case len(c.ProbeInputs) != len(c.ProbeLabels):
-		return fmt.Errorf("serve: probe set mismatch: %d inputs, %d labels",
-			len(c.ProbeInputs), len(c.ProbeLabels))
-	case c.MaxRetries < 0:
-		return fmt.Errorf("serve: MaxRetries must be >= 0, got %d", c.MaxRetries)
-	case c.BaseBackoff < 0 || c.MaxBackoff < 0:
-		return fmt.Errorf("serve: backoff durations must be >= 0")
-	case c.MaxBackoff > 0 && c.BaseBackoff > c.MaxBackoff:
-		return fmt.Errorf("serve: BaseBackoff %v exceeds MaxBackoff %v", c.BaseBackoff, c.MaxBackoff)
+func newBreakerMetrics(reg *metrics.Registry) breakerMetrics {
+	return breakerMetrics{
+		shed:     reg.Counter("serve.breaker_shed"),
+		trips:    reg.Counter("serve.breaker_trips"),
+		retries:  reg.Counter("serve.reprogram_retries"),
+		probeAcc: reg.Gauge("serve.probe_accuracy"),
 	}
-	return nil
 }
 
 // Breaker is a health-aware circuit breaker implementing Backend over a
@@ -110,28 +87,40 @@ func (c BreakerConfig) Validate() error {
 // InferBatch is safe for concurrent use; Reprogram calls are serialized
 // internally and may run concurrently with InferBatch.
 type Breaker struct {
-	cfg  BreakerConfig
-	pair *ShadowPair
-	reg  *metrics.Registry
+	cfg    Config
+	pair   *ShadowPair
+	reg    *metrics.Registry
+	met    breakerMetrics
+	tracer *obs.Tracer
 
 	jitter  noise.Source
 	draws   atomic.Uint64 // jitter stream position
 	tripped atomic.Bool
 }
 
-// NewBreaker wraps pair with health gating.
-func NewBreaker(pair *ShadowPair, cfg BreakerConfig) (*Breaker, error) {
+// NewBreaker wraps pair with health gating, configured by Default()
+// refined with opts (the breaker consumes the retry/backoff/probe fields;
+// batcher fields are ignored here and validated by New).
+func NewBreaker(pair *ShadowPair, opts ...Option) (*Breaker, error) {
 	if pair == nil {
 		return nil, fmt.Errorf("serve: nil shadow pair")
 	}
-	if err := cfg.Validate(); err != nil {
+	cfg := build(opts)
+	if err := cfg.validateBreaker(); err != nil {
 		return nil, err
 	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Breaker{cfg: cfg, pair: pair, reg: reg, jitter: noise.NewSource(cfg.Seed)}, nil
+	return &Breaker{
+		cfg:    cfg,
+		pair:   pair,
+		reg:    reg,
+		met:    newBreakerMetrics(reg),
+		tracer: cfg.Tracer,
+		jitter: noise.NewSource(cfg.Seed),
+	}, nil
 }
 
 // Pair returns the underlying shadow pair (statistics only).
@@ -147,11 +136,17 @@ func (b *Breaker) Reset() { b.tripped.Store(false) }
 // InferBatch serves the batch from the live engine, or sheds the whole
 // batch with ErrUnhealthy while the breaker is open.
 func (b *Breaker) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	return b.InferBatchCtx(obs.Ctx{}, inputs)
+}
+
+// InferBatchCtx is InferBatch with tracing, linking the shadow pair's
+// span tree under pc. Shed batches record no child spans (nothing ran).
+func (b *Breaker) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
 	if b.tripped.Load() {
-		b.reg.Counter("serve.breaker_shed").Add(int64(len(inputs)))
+		b.met.shed.Add(int64(len(inputs)))
 		return nil, energy.Zero, fmt.Errorf("serve: breaker open: %w", ErrUnhealthy)
 	}
-	return b.pair.InferBatch(inputs)
+	return b.pair.InferBatchCtx(pc, inputs)
 }
 
 // Reprogram pushes net through the shadow pair with retry, backoff, and a
@@ -166,17 +161,38 @@ func (b *Breaker) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, erro
 //
 // The hidden cost accumulates across every attempt — failed programming
 // passes burn real energy, and the ledger shows it.
+//
+// With a tracer configured, each Reprogram is one "serve.reprogram" root
+// span annotated with the attempt count, wrapping the per-attempt
+// "serve.shadow_swap" spans (and their dpe.load / tile.program children).
+// The span's cost is the visible cost — the hidden cost lives on the
+// children and in HiddenCost().
 func (b *Breaker) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err error) {
+	sp := b.tracer.Root("serve.reprogram")
+	attempts := 0
+	visible, hidden, err = b.reprogram(sp, net, &attempts)
+	if sp.Active() {
+		sp.Annotate("attempts", float64(attempts))
+		if err != nil {
+			sp.Annotate("error", 1)
+		}
+	}
+	sp.End(visible)
+	return visible, hidden, err
+}
+
+func (b *Breaker) reprogram(sp obs.Ctx, net *nn.Network, attemptsOut *int) (visible, hidden energy.Cost, err error) {
 	attempts := b.cfg.MaxRetries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
+		*attemptsOut = attempt + 1
 		if attempt > 0 {
-			b.reg.Counter("serve.reprogram_retries").Inc()
+			b.met.retries.Inc()
 			if d := b.backoff(attempt - 1); d > 0 {
 				time.Sleep(d)
 			}
 		}
 		var v, h energy.Cost
-		v, h, err = b.pair.Reprogram(net)
+		v, h, err = b.pair.ReprogramCtx(sp, net)
 		hidden = hidden.Seq(h)
 		if err == nil {
 			visible = v
@@ -189,12 +205,12 @@ func (b *Breaker) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err e
 	}
 
 	if len(b.cfg.ProbeInputs) > 0 {
-		acc, perr := b.probe()
+		acc, perr := b.probe(sp)
 		if perr != nil {
 			b.trip()
 			return energy.Zero, hidden, fmt.Errorf("serve: post-swap probe: %w", perr)
 		}
-		b.reg.Gauge("serve.probe_accuracy").Set(acc)
+		b.met.probeAcc.Set(acc)
 		if acc < b.cfg.MinAccuracy {
 			b.trip()
 			return energy.Zero, hidden, &UnhealthyError{Accuracy: acc, MinAccuracy: b.cfg.MinAccuracy}
@@ -207,7 +223,7 @@ func (b *Breaker) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err e
 // trip opens the breaker and counts the transition.
 func (b *Breaker) trip() {
 	if !b.tripped.Swap(true) {
-		b.reg.Counter("serve.breaker_trips").Inc()
+		b.met.trips.Inc()
 	}
 }
 
@@ -232,8 +248,10 @@ func (b *Breaker) backoff(k int) time.Duration {
 // probe runs the holdout set through the live engine (bypassing the
 // tripped check — the probe is how the breaker decides) and returns
 // argmax accuracy.
-func (b *Breaker) probe() (float64, error) {
-	outs, _, err := b.pair.InferBatch(b.cfg.ProbeInputs)
+func (b *Breaker) probe(pc obs.Ctx) (float64, error) {
+	sp := pc.Child("serve.probe")
+	outs, cost, err := b.pair.InferBatchCtx(sp, b.cfg.ProbeInputs)
+	sp.End(cost)
 	if err != nil {
 		return 0, err
 	}

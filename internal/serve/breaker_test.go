@@ -44,24 +44,24 @@ func TestBreakerConfigValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := []BreakerConfig{
-		{MinAccuracy: -0.1},
-		{MinAccuracy: 1.5},
-		{ProbeInputs: make([][]float64, 3), ProbeLabels: make([]int, 2)},
-		{MaxRetries: -1},
-		{BaseBackoff: -time.Second},
-		{BaseBackoff: time.Second, MaxBackoff: time.Millisecond},
+	bad := []Option{
+		WithProbe(-0.1, nil, nil),
+		WithProbe(1.5, nil, nil),
+		WithProbe(0.5, make([][]float64, 3), make([]int, 2)),
+		WithRetry(-1, 0, 0),
+		WithRetry(0, -time.Second, 0),
+		WithRetry(0, time.Second, time.Millisecond),
 	}
-	for i, cfg := range bad {
-		if _, err := NewBreaker(pair, cfg); err == nil {
-			t.Errorf("config %d accepted: %+v", i, cfg)
+	for i, opt := range bad {
+		if _, err := NewBreaker(pair, opt); err == nil {
+			t.Errorf("option %d accepted", i)
 		}
 	}
-	if _, err := NewBreaker(nil, BreakerConfig{}); err == nil {
+	if _, err := NewBreaker(nil); err == nil {
 		t.Error("nil pair accepted")
 	}
-	if _, err := NewBreaker(pair, BreakerConfig{}); err != nil {
-		t.Errorf("zero config rejected: %v", err)
+	if _, err := NewBreaker(pair); err != nil {
+		t.Errorf("default config rejected: %v", err)
 	}
 }
 
@@ -123,7 +123,7 @@ func TestBreakerRetryUntilHealthy(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := metrics.NewRegistry()
-	br, err := NewBreaker(pair, BreakerConfig{MaxRetries: 5, Registry: reg})
+	br, err := NewBreaker(pair, WithRetry(5, 0, 0), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +168,11 @@ func TestBreakerTripsOnSpareExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := metrics.NewRegistry()
-	br, err := NewBreaker(pair, BreakerConfig{
-		MaxRetries:  2,
-		BaseBackoff: time.Microsecond,
-		MaxBackoff:  time.Millisecond,
-		Seed:        1,
-		Registry:    reg,
-	})
+	br, err := NewBreaker(pair,
+		WithRetry(2, time.Microsecond, time.Millisecond),
+		WithSeed(1),
+		WithRegistry(reg),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,9 +226,7 @@ func TestBreakerProbeTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br, err := NewBreaker(pair, BreakerConfig{
-		MinAccuracy: 0.5, ProbeInputs: probe, ProbeLabels: badLabels,
-	})
+	br, err := NewBreaker(pair, WithProbe(0.5, probe, badLabels))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,9 +256,7 @@ func TestBreakerProbeTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := metrics.NewRegistry()
-	br2, err := NewBreaker(pair2, BreakerConfig{
-		MinAccuracy: 0.5, ProbeInputs: probe, ProbeLabels: goodLabels, Registry: reg,
-	})
+	br2, err := NewBreaker(pair2, WithProbe(0.5, probe, goodLabels), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,9 +286,7 @@ func TestServerShedsUnhealthyBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := metrics.NewRegistry()
-	br, err := NewBreaker(pair, BreakerConfig{
-		MinAccuracy: 0.5, ProbeInputs: probe, ProbeLabels: badLabels, Registry: reg,
-	})
+	br, err := NewBreaker(pair, WithProbe(0.5, probe, badLabels), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +294,7 @@ func TestServerShedsUnhealthyBatches(t *testing.T) {
 		t.Fatalf("setup: %v", err)
 	}
 
-	srv, err := New(br, Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueBound: 256, Registry: reg})
+	srv, err := New(br, WithBatch(8, time.Millisecond), WithQueueBound(256), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +332,7 @@ func TestBreakerConcurrentAccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br, err := NewBreaker(pair, BreakerConfig{MaxRetries: 1})
+	br, err := NewBreaker(pair, WithRetry(1, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

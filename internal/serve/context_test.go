@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubmitPreCanceledContext: a context that is already done never
+// enqueues — Submit fails fast with ErrCanceled wrapping the cause.
+func TestSubmitPreCanceledContext(t *testing.T) {
+	bk := &countingBackend{}
+	srv, err := New(bk, WithBatch(4, time.Millisecond), WithQueueBound(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = srv.Submit(ctx, []float64{1})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Submit with dead context = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCanceled does not wrap the context cause: %v", err)
+	}
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if len(bk.sizes) != 0 {
+		t.Fatalf("pre-canceled request reached the backend: batches %v", bk.sizes)
+	}
+}
+
+// TestSubmitNilContext: a nil context is treated as context.Background().
+func TestSubmitNilContext(t *testing.T) {
+	bk := &countingBackend{}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, _, err := srv.Submit(nil, []float64{1}); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("Submit(nil, ...) = %v, want nil error", err)
+	}
+}
+
+// TestSubmitCanceledWhileQueued pins the shed path: requests whose context
+// dies while they sit in the ingress queue are skipped at flush time — the
+// callers get ErrCanceled and the abandoned inputs never reach the
+// backend.
+func TestSubmitCanceledWhileQueued(t *testing.T) {
+	const parked = 4
+	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(parked+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jam the dispatcher inside a flush so the queue holds still.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Infer([]float64{0})
+		firstDone <- err
+	}()
+	<-bk.entered
+
+	// Park requests in the queue under a cancelable context.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, parked)
+	for i := 0; i < parked; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = srv.Submit(ctx, []float64{float64(i + 1)})
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(srv.queue) < parked {
+		select {
+		case <-deadline:
+			t.Fatalf("queue never filled: %d/%d", len(srv.queue), parked)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Abandon them, then let the dispatcher run again.
+	cancel()
+	wg.Wait()
+	close(bk.release)
+	if err := <-firstDone; err != nil {
+		t.Errorf("first request: %v", err)
+	}
+	srv.Close()
+
+	for i, err := range errs {
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("parked request %d: %v, want ErrCanceled", i, err)
+		}
+	}
+	// Only the first request ever reached the device: the four abandoned
+	// requests were shed before flush.
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if len(bk.batches) != 1 {
+		t.Errorf("backend saw %d batches, want 1 (abandoned work must be shed)", len(bk.batches))
+	}
+	if got := srv.Registry().Counter("serve.canceled").Value(); got != parked {
+		t.Errorf("serve.canceled = %d, want %d", got, parked)
+	}
+	close(bk.entered)
+}
+
+// TestSubmitCanceledMidBatch: a request already mid-flush when its context
+// dies returns ErrCanceled immediately; the device result is discarded
+// into the buffered response channel and nothing leaks or deadlocks.
+func TestSubmitCanceledMidBatch(t *testing.T) {
+	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Submit(ctx, []float64{1})
+		done <- err
+	}()
+	<-bk.entered // the request is on the device
+	cancel()
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-batch cancel = %v, want ErrCanceled", err)
+	}
+	// The dispatcher finishes the flush into the buffered channel; Close
+	// must not hang on the abandoned request.
+	close(bk.release)
+	srv.Close()
+	close(bk.entered)
+	if got := srv.Registry().Counter("serve.canceled").Value(); got != 1 {
+		t.Errorf("serve.canceled = %d, want 1", got)
+	}
+}
+
+// TestSubmitDeadlineExceeded: context deadlines surface the same way as
+// cancellation, wrapping context.DeadlineExceeded.
+func TestSubmitDeadlineExceeded(t *testing.T) {
+	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Submit(ctx, []float64{1})
+		done <- err
+	}()
+	<-bk.entered
+	err = <-done
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("deadline expiry = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrCanceled does not wrap DeadlineExceeded: %v", err)
+	}
+	close(bk.release)
+	srv.Close()
+	close(bk.entered)
+}

@@ -13,16 +13,20 @@
 //     requests have accumulated or MaxDelay has elapsed since the batch
 //     opened — whichever comes first. Light load pays one deadline of extra
 //     latency at most; heavy load amortizes toward full batches.
-//   - Explicit backpressure: the ingress queue holds at most QueueBound
-//     requests. Past the high-water mark, Infer fails fast with
-//     ErrOverloaded instead of growing an unbounded queue — callers see the
-//     overload and can shed or retry, and memory stays bounded no matter
-//     the offered load.
+//   - Explicit backpressure and cancellation: the ingress queue holds at
+//     most QueueBound requests. Past the high-water mark, Submit fails fast
+//     with ErrOverloaded instead of growing an unbounded queue. Submit also
+//     honors context.Context: a caller that cancels stops waiting with
+//     ErrCanceled, and the flush loop skips requests whose context died
+//     while they sat in the queue — abandoned work is shed, not computed.
 //   - Observability: per-request wall-clock latency lands in a lock-free
-//     metrics.Histogram (p50/p95/p99 via HistogramSnapshot.Quantile), and
-//     the simulated cost algebra (internal/energy) keeps running totals of
-//     virtual busy time and energy, so the benchmark in cmd/cimserve can
-//     report both wall-clock and simulated throughput.
+//     metrics.Histogram (p50/p95/p99 via HistogramSnapshot.Quantile), the
+//     simulated cost algebra (internal/energy) keeps running totals of
+//     virtual busy time and energy, and an optional obs.Tracer records one
+//     "serve.flush" span per batch with the whole engine/crossbar span tree
+//     beneath it (docs/OBSERVABILITY.md). All metric handles are interned
+//     once at construction; the request hot path never does a registry
+//     lookup.
 //
 // Zero-downtime weight updates are the fourth piece, in shadow.go: a
 // ShadowPair programs a standby engine while the live one keeps serving,
@@ -31,6 +35,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,11 +44,12 @@ import (
 
 	"cimrev/internal/energy"
 	"cimrev/internal/metrics"
+	"cimrev/internal/obs"
 )
 
 // Backend is the batched inference kernel the pipeline feeds. Both
-// *dpe.Engine and *dpe.Cluster (and *ShadowPair, which wraps two engines)
-// satisfy it.
+// *dpe.Engine and *dpe.Cluster (and *ShadowPair and *Breaker, which wrap
+// engines) satisfy it.
 type Backend interface {
 	// InferBatch runs the batch, returning one output per input plus the
 	// simulated cost of the whole batch. It must be safe for the pipeline
@@ -52,58 +58,32 @@ type Backend interface {
 	InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error)
 }
 
-// ErrOverloaded is returned by Infer when the ingress queue is at its
+// ctxBackend is the optional traced variant of Backend. Backends that
+// implement it (dpe.Engine, dpe.Cluster, ShadowPair, Breaker) have their
+// span tree linked under the server's "serve.flush" spans; plain Backends
+// still work, they just appear as leaf flushes in a trace.
+type ctxBackend interface {
+	InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error)
+}
+
+// ErrOverloaded is returned by Submit when the ingress queue is at its
 // high-water mark. The request was NOT enqueued; the caller owns the retry
 // policy. This is the backpressure contract: past QueueBound the server
 // sheds load instead of queueing without bound.
 var ErrOverloaded = errors.New("serve: ingress queue full (backpressure)")
 
-// ErrClosed is returned by Infer after Close.
+// ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// Config configures a Server.
-type Config struct {
-	// MaxBatch is the flush threshold: a batch is dispatched as soon as
-	// it holds this many requests. Must be >= 1.
-	MaxBatch int
-	// MaxDelay is the flush deadline: an open batch is dispatched at most
-	// this long after its first request arrived, even if under-full.
-	// Must be > 0.
-	MaxDelay time.Duration
-	// QueueBound is the ingress queue's high-water mark: the maximum
-	// number of requests waiting for dispatch. Must be >= 1. Requests
-	// beyond it are rejected with ErrOverloaded.
-	QueueBound int
-	// Registry receives serving metrics. Nil selects a private registry
-	// (always safe; reachable via Server.Registry).
-	Registry *metrics.Registry
-}
-
-// Validate reports whether the configuration is usable. Like the
-// crossbar's ADCBits=0 rejection, degenerate serving parameters fail fast
-// at construction with a descriptive error instead of deadlocking or
-// spinning later.
-func (c Config) Validate() error {
-	switch {
-	case c.MaxBatch < 1:
-		return fmt.Errorf("serve: MaxBatch must be >= 1, got %d (a batcher that never fills never flushes)", c.MaxBatch)
-	case c.MaxDelay <= 0:
-		return fmt.Errorf("serve: MaxDelay must be positive, got %v (a zero deadline would busy-spin the dispatcher)", c.MaxDelay)
-	case c.QueueBound < 1:
-		return fmt.Errorf("serve: QueueBound must be >= 1, got %d (a zero-length ingress queue rejects every request)", c.QueueBound)
-	}
-	return nil
-}
-
-// DefaultConfig returns a serving configuration tuned for the benchmark
-// workloads: batches up to 64, a 2ms flush deadline, and a 4096-deep
-// ingress queue.
-func DefaultConfig() Config {
-	return Config{MaxBatch: 64, MaxDelay: 2 * time.Millisecond, QueueBound: 4096}
-}
+// ErrCanceled is returned by Submit when the request's context is done
+// before a result arrives. The request may still be skipped (if its batch
+// had not flushed yet) or its result discarded (if it had); either way the
+// caller has stopped paying for it.
+var ErrCanceled = errors.New("serve: request canceled")
 
 // request is one enqueued inference.
 type request struct {
+	ctx   context.Context
 	in    []float64
 	start time.Time
 	resp  chan response
@@ -116,15 +96,49 @@ type response struct {
 	err  error
 }
 
+// serverMetrics holds the server's interned metric handles, resolved once
+// at construction so the request and flush hot paths touch only lock-free
+// atomics.
+type serverMetrics struct {
+	rejected    *metrics.Counter
+	canceled    *metrics.Counter
+	requests    *metrics.Counter
+	batches     *metrics.Counter
+	batchErrors *metrics.Counter
+	errors      *metrics.Counter
+	unhealthy   *metrics.Counter
+	latencyNS   *metrics.Histogram
+	batchSize   *metrics.Histogram
+	energyPJ    *metrics.Gauge
+}
+
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		rejected:    reg.Counter("serve.rejected"),
+		canceled:    reg.Counter("serve.canceled"),
+		requests:    reg.Counter("serve.requests"),
+		batches:     reg.Counter("serve.batches"),
+		batchErrors: reg.Counter("serve.batch_errors"),
+		errors:      reg.Counter("serve.errors"),
+		unhealthy:   reg.Counter("serve.unhealthy"),
+		latencyNS:   reg.Histogram("serve.latency_ns"),
+		batchSize:   reg.Histogram("serve.batch_size"),
+		energyPJ:    reg.Gauge("serve.energy_pj"),
+	}
+}
+
 // Server is the micro-batching inference frontend. Construct with New;
 // the zero value is not usable.
 type Server struct {
 	cfg     Config
 	backend Backend
+	cbe     ctxBackend // non-nil iff backend implements InferBatchCtx
 	reg     *metrics.Registry
+	met     serverMetrics
+	tracer  *obs.Tracer
 
 	// ingressMu guards the closed flag and the queue send against Close:
-	// Infer holds it shared while enqueueing; Close holds it exclusively
+	// Submit holds it shared while enqueueing; Close holds it exclusively
 	// while closing the channel, so no send can race the close.
 	ingressMu sync.RWMutex
 	closed    bool
@@ -138,12 +152,13 @@ type Server struct {
 	simPS atomic.Int64
 }
 
-// New starts a server over backend. The dispatcher goroutine runs until
-// Close.
-func New(backend Backend, cfg Config) (*Server, error) {
+// New starts a server over backend, configured by Default() refined with
+// opts. The dispatcher goroutine runs until Close.
+func New(backend Backend, opts ...Option) (*Server, error) {
 	if backend == nil {
 		return nil, fmt.Errorf("serve: nil backend")
 	}
+	cfg := build(opts)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,9 +170,12 @@ func New(backend Backend, cfg Config) (*Server, error) {
 		cfg:            cfg,
 		backend:        backend,
 		reg:            reg,
+		met:            newServerMetrics(reg),
+		tracer:         cfg.Tracer,
 		queue:          make(chan *request, cfg.QueueBound),
 		dispatcherDone: make(chan struct{}),
 	}
+	s.cbe, _ = backend.(ctxBackend)
 	go s.dispatch()
 	return s, nil
 }
@@ -170,15 +188,30 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // simulated second is requests / (SimTimePS * 1e-12).
 func (s *Server) SimTimePS() int64 { return s.simPS.Load() }
 
-// Infer submits one inference and blocks until its batch completes. The
-// returned cost is the request's share of its batch: the full batch
-// latency (the request waited for the whole batch) and 1/n of the batch
-// energy. The caller must not mutate in until Infer returns.
-//
-// Infer fails fast with ErrOverloaded when the ingress queue is at its
-// bound and with ErrClosed after Close; both leave the request unqueued.
+// Infer submits one inference with a background context; see Submit.
 func (s *Server) Infer(in []float64) ([]float64, energy.Cost, error) {
-	req := &request{in: in, start: time.Now(), resp: make(chan response, 1)}
+	return s.Submit(context.Background(), in)
+}
+
+// Submit submits one inference and blocks until its batch completes or ctx
+// is done. The returned cost is the request's share of its batch: the full
+// batch latency (the request waited for the whole batch) and 1/n of the
+// batch energy. The caller must not mutate in until Submit returns.
+//
+// Submit fails fast with ErrOverloaded when the ingress queue is at its
+// bound and with ErrClosed after Close; both leave the request unqueued.
+// If ctx is canceled while the request waits, Submit returns ErrCanceled
+// (wrapping ctx.Err()): a request still queued is skipped at flush time,
+// one already mid-batch completes on the device but its result is
+// discarded.
+func (s *Server) Submit(ctx context.Context, in []float64) ([]float64, energy.Cost, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, energy.Zero, fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	req := &request{ctx: ctx, in: in, start: time.Now(), resp: make(chan response, 1)}
 
 	s.ingressMu.RLock()
 	if s.closed {
@@ -190,16 +223,24 @@ func (s *Server) Infer(in []float64) ([]float64, energy.Cost, error) {
 		s.ingressMu.RUnlock()
 	default:
 		s.ingressMu.RUnlock()
-		s.reg.Counter("serve.rejected").Inc()
+		s.met.rejected.Inc()
 		return nil, energy.Zero, ErrOverloaded
 	}
 
-	r := <-req.resp
-	s.reg.Histogram("serve.latency_ns").Observe(float64(time.Since(req.start).Nanoseconds()))
-	if r.err != nil {
-		return nil, energy.Zero, r.err
+	select {
+	case r := <-req.resp:
+		s.met.latencyNS.Observe(float64(time.Since(req.start).Nanoseconds()))
+		if r.err != nil {
+			return nil, energy.Zero, r.err
+		}
+		return r.out, r.cost, nil
+	case <-ctx.Done():
+		// The dispatcher will still send into the buffered resp channel
+		// (or skip the request at flush); nobody is listening, nothing
+		// leaks.
+		s.met.canceled.Inc()
+		return nil, energy.Zero, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 	}
-	return r.out, r.cost, nil
 }
 
 // Close stops accepting requests, drains everything already queued
@@ -254,16 +295,54 @@ func (s *Server) collect(first *request) []*request {
 	return batch
 }
 
+// shedCanceled splits out requests whose context died while they waited in
+// the queue: each gets an ErrCanceled response (into its buffered channel —
+// the caller already left) and is excluded from the device batch, so
+// abandoned work never reaches the crossbars.
+func (s *Server) shedCanceled(batch []*request) []*request {
+	kept := batch[:0]
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			req.resp <- response{err: fmt.Errorf("%w: %w", ErrCanceled, err)}
+			continue
+		}
+		kept = append(kept, req)
+	}
+	return kept
+}
+
+// inferBatch invokes the backend, threading the flush span through the
+// traced interface when the backend supports it.
+func (s *Server) inferBatch(sp obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	if s.cbe != nil {
+		return s.cbe.InferBatchCtx(sp, inputs)
+	}
+	return s.backend.InferBatch(inputs)
+}
+
 // flush runs one batch through the backend and distributes results. A
 // batch-level error falls back to per-request execution so that one bad
 // request (wrong input length, say) cannot poison its batchmates: only the
-// offending request sees its error.
+// offending request sees its error. Each flush is one root span
+// ("serve.flush") when tracing is enabled.
 func (s *Server) flush(batch []*request) {
+	batch = s.shedCanceled(batch)
+	if len(batch) == 0 {
+		return
+	}
 	inputs := make([][]float64, len(batch))
 	for i, req := range batch {
 		inputs[i] = req.in
 	}
-	outs, cost, err := s.backend.InferBatch(inputs)
+	sp := s.tracer.Root("serve.flush")
+	outs, cost, err := s.inferBatch(sp, inputs)
+	if sp.Active() {
+		sp.Annotate("batch", float64(len(batch)))
+		if err != nil {
+			sp.Annotate("error", 1)
+		}
+	}
+	sp.End(cost)
 	if err != nil {
 		if errors.Is(err, ErrUnhealthy) {
 			// Health-driven shed: a tripped breaker (or an unhealthy
@@ -271,20 +350,20 @@ func (s *Server) flush(batch []*request) {
 			// per-request fallback below would just hammer it N more
 			// times. Shed the whole batch with the typed error and let
 			// callers decide whether to retry, reroute, or alarm.
-			s.reg.Counter("serve.unhealthy").Add(int64(len(batch)))
+			s.met.unhealthy.Add(int64(len(batch)))
 			for _, req := range batch {
 				req.resp <- response{err: err}
 			}
 			return
 		}
-		s.reg.Counter("serve.batch_errors").Inc()
+		s.met.batchErrors.Inc()
 		s.flushIndividually(batch)
 		return
 	}
-	s.reg.Counter("serve.batches").Inc()
-	s.reg.Counter("serve.requests").Add(int64(len(batch)))
-	s.reg.Histogram("serve.batch_size").Observe(float64(len(batch)))
-	s.reg.Gauge("serve.energy_pj").Add(cost.EnergyPJ)
+	s.met.batches.Inc()
+	s.met.requests.Add(int64(len(batch)))
+	s.met.batchSize.Observe(float64(len(batch)))
+	s.met.energyPJ.Add(cost.EnergyPJ)
 	s.simPS.Add(cost.LatencyPS)
 	share := energy.Cost{LatencyPS: cost.LatencyPS, EnergyPJ: cost.EnergyPJ / float64(len(batch))}
 	for i, req := range batch {
@@ -297,16 +376,18 @@ func (s *Server) flush(batch []*request) {
 // cost; failing ones get their own error.
 func (s *Server) flushIndividually(batch []*request) {
 	for _, req := range batch {
-		outs, cost, err := s.backend.InferBatch([][]float64{req.in})
+		sp := s.tracer.Root("serve.flush_single")
+		outs, cost, err := s.inferBatch(sp, [][]float64{req.in})
+		sp.End(cost)
 		if err != nil {
-			s.reg.Counter("serve.errors").Inc()
+			s.met.errors.Inc()
 			req.resp <- response{err: fmt.Errorf("serve: request failed: %w", err)}
 			continue
 		}
-		s.reg.Counter("serve.batches").Inc()
-		s.reg.Counter("serve.requests").Inc()
-		s.reg.Histogram("serve.batch_size").Observe(1)
-		s.reg.Gauge("serve.energy_pj").Add(cost.EnergyPJ)
+		s.met.batches.Inc()
+		s.met.requests.Inc()
+		s.met.batchSize.Observe(1)
+		s.met.energyPJ.Add(cost.EnergyPJ)
 		s.simPS.Add(cost.LatencyPS)
 		req.resp <- response{out: outs[0], cost: cost}
 	}

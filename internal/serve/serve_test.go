@@ -56,7 +56,7 @@ func testInputs(n, dim int, seed int64) [][]float64 {
 }
 
 func TestConfigValidate(t *testing.T) {
-	if err := DefaultConfig().Validate(); err != nil {
+	if err := Default().Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
 	}
 	bad := []Config{
@@ -72,12 +72,12 @@ func TestConfigValidate(t *testing.T) {
 		}
 	}
 	// New surfaces validation and nil-backend errors.
-	if _, err := New(nil, DefaultConfig()); err == nil {
+	if _, err := New(nil); err == nil {
 		t.Error("nil backend accepted")
 	}
 	net := testMLP(t, 16, 8)
 	eng := loadedEngine(t, net)
-	if _, err := New(eng, Config{MaxBatch: 0, MaxDelay: time.Millisecond, QueueBound: 1}); err == nil {
+	if _, err := New(eng, WithConfig(Config{MaxBatch: 0, MaxDelay: time.Millisecond, QueueBound: 1})); err == nil {
 		t.Error("invalid config accepted by New")
 	}
 }
@@ -92,7 +92,7 @@ func TestServeMatchesDirectInfer(t *testing.T) {
 			parallel.SetWidth(width)
 			net := testMLP(t, 32, 24, 10)
 			eng := loadedEngine(t, net)
-			srv, err := New(eng, Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond, QueueBound: 256})
+			srv, err := New(eng, WithBatch(8, 5*time.Millisecond), WithQueueBound(256))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,7 +184,7 @@ func (b *blockingBackend) InferBatch(inputs [][]float64) ([][]float64, energy.Co
 func TestBackpressure(t *testing.T) {
 	const bound = 4
 	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
-	srv, err := New(bk, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueBound: bound})
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(bound))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func (b *countingBackend) InferBatch(inputs [][]float64) ([][]float64, energy.Co
 // MaxDelay deadline flushes it.
 func TestDeadlineFlush(t *testing.T) {
 	bk := &countingBackend{}
-	srv, err := New(bk, Config{MaxBatch: 1 << 20, MaxDelay: 10 * time.Millisecond, QueueBound: 16})
+	srv, err := New(bk, WithBatch(1<<20, 10*time.Millisecond), WithQueueBound(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestDeadlineFlush(t *testing.T) {
 func TestMaxBatchCap(t *testing.T) {
 	const maxBatch, n = 4, 64
 	bk := &countingBackend{delay: 2 * time.Millisecond} // lets the queue pile up
-	srv, err := New(bk, Config{MaxBatch: maxBatch, MaxDelay: 50 * time.Millisecond, QueueBound: n})
+	srv, err := New(bk, WithBatch(maxBatch, 50*time.Millisecond), WithQueueBound(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestMaxBatchCap(t *testing.T) {
 func TestCloseDrains(t *testing.T) {
 	net := testMLP(t, 16, 8)
 	eng := loadedEngine(t, net)
-	srv, err := New(eng, Config{MaxBatch: 4, MaxDelay: 20 * time.Millisecond, QueueBound: 64})
+	srv, err := New(eng, WithBatch(4, 20*time.Millisecond), WithQueueBound(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestCloseDrains(t *testing.T) {
 func TestPoisonPillIsolated(t *testing.T) {
 	net := testMLP(t, 16, 8)
 	eng := loadedEngine(t, net)
-	srv, err := New(eng, Config{MaxBatch: 4, MaxDelay: 30 * time.Millisecond, QueueBound: 64})
+	srv, err := New(eng, WithBatch(4, 30*time.Millisecond), WithQueueBound(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +413,7 @@ func TestServeClusterBackend(t *testing.T) {
 	if _, err := cl.Load(net); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(cl, Config{MaxBatch: 8, MaxDelay: 10 * time.Millisecond, QueueBound: 128})
+	srv, err := New(cl, WithBatch(8, 10*time.Millisecond), WithQueueBound(128))
 	if err != nil {
 		t.Fatal(err)
 	}

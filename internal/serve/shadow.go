@@ -20,6 +20,7 @@ import (
 	"cimrev/internal/dpe"
 	"cimrev/internal/energy"
 	"cimrev/internal/nn"
+	"cimrev/internal/obs"
 )
 
 // guardedEngine pairs an engine with a reader/writer gate: inference holds
@@ -98,10 +99,27 @@ func (p *ShadowPair) HiddenCost() energy.Cost {
 // engine until the batch retires. Requests that race a swap may be served
 // by either weight version — the swap is the linearization point.
 func (p *ShadowPair) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
+	return p.InferBatchCtx(obs.Ctx{}, inputs)
+}
+
+// InferBatchCtx is InferBatch with tracing: the live engine's
+// dpe.infer_batch span tree links under pc.
+func (p *ShadowPair) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
 	g := p.live.Load()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.eng.InferBatch(inputs)
+	return g.eng.InferBatchCtx(pc, inputs)
+}
+
+// Health scans the engine currently on the serving path, holding its read
+// gate so the scan cannot race a reprogram of a just-retired standby. This
+// is the safe form for liveness endpoints (cimserve -listen /healthz):
+// Live().HealthCheck() without the gate could observe a tile mid-program.
+func (p *ShadowPair) Health() dpe.Health {
+	g := p.live.Load()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eng.HealthCheck()
 }
 
 // Reprogram programs net into the standby engine at full write cost while
@@ -125,6 +143,28 @@ func (p *ShadowPair) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, e
 // and the hidden cost of the failed attempt stays on the books (the energy
 // was spent even though no swap happened).
 func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, err error) {
+	return p.ReprogramCtx(obs.Ctx{}, net)
+}
+
+// ReprogramCtx is Reprogram with tracing: one "serve.shadow_swap" span
+// covering the standby programming, any repair pass, and the swap. The
+// span's cost is the *hidden* (full) programming cost — the work that
+// overlapped with serving — because that is where the simulated energy
+// went; the visible swap latency is an annotation (visible_ps).
+func (p *ShadowPair) ReprogramCtx(pc obs.Ctx, net *nn.Network) (visible, hidden energy.Cost, err error) {
+	sp := pc.Child("serve.shadow_swap")
+	visible, hidden, err = p.reprogram(sp, net)
+	if sp.Active() {
+		sp.Annotate("visible_ps", float64(visible.LatencyPS))
+		if err != nil {
+			sp.Annotate("error", 1)
+		}
+	}
+	sp.End(hidden)
+	return visible, hidden, err
+}
+
+func (p *ShadowPair) reprogram(sp obs.Ctx, net *nn.Network) (visible, hidden energy.Cost, err error) {
 	p.reprogramMu.Lock()
 	defer p.reprogramMu.Unlock()
 
@@ -132,7 +172,7 @@ func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, er
 	// Wait out any batch still running on the standby from before the
 	// previous swap, then program it. The live engine serves throughout.
 	sb.mu.Lock()
-	cost, err := sb.eng.Load(net)
+	cost, err := sb.eng.LoadCtx(sp, net)
 	if err != nil {
 		sb.mu.Unlock()
 		return energy.Zero, energy.Zero, fmt.Errorf("serve: shadow reprogram: %w", err)
@@ -141,7 +181,7 @@ func (p *ShadowPair) Reprogram(net *nn.Network) (visible, hidden energy.Cost, er
 	// epoch and usually clear; stuck-cell losses past the spare budget do
 	// not, and block the swap.
 	if h := sb.eng.HealthCheck(); !h.Healthy() {
-		rcost, h2, rerr := sb.eng.Repair()
+		rcost, h2, rerr := sb.eng.RepairCtx(sp)
 		cost = cost.Seq(rcost)
 		if rerr == nil && !h2.Healthy() {
 			rerr = fmt.Errorf("serve: standby unhealthy after repair (%s): %w", h2, ErrUnhealthy)

@@ -42,7 +42,7 @@ func TestShadowSwapZeroDowntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(pair, Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueBound: 1024})
+	srv, err := New(pair, WithBatch(8, time.Millisecond), WithQueueBound(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestShadowServeParallelWidths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			srv, err := New(pair, Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueBound: 256})
+			srv, err := New(pair, WithBatch(4, time.Millisecond), WithQueueBound(256))
 			if err != nil {
 				t.Fatal(err)
 			}
