@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race verify bench bench-smoke bench-json bench-serve bench-fault bench-obs cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-serve bench-fault bench-obs bench-fleet cover fuzz experiments examples clean
 
 all: build vet test
 
-# Tier-1 verify path: format + build + vet + tests, then the same tests
-# again under the race detector (the parallel simulation engine must stay
-# race-clean).
-verify: fmt-check build vet test race
+# Tier-1 verify path: format + docs cross-reference check + build + vet +
+# tests, then the same tests again under the race detector (the parallel
+# simulation engine must stay race-clean).
+verify: fmt-check docs-check build vet test race
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ vet:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Docs cross-reference check: every docs/*.md referenced from README.md or
+# DESIGN.md must exist, and every file in docs/ must be referenced from one
+# of them — no dangling links, no orphaned documents. Implemented as a Go
+# test (docs_test.go) so `go test ./...` enforces it too.
+docs-check:
+	$(GO) test -run TestDocs -count=1 .
 
 test:
 	$(GO) test ./...
@@ -37,7 +44,10 @@ test:
 # the observability layer (docs/OBSERVABILITY.md): concurrent span
 # recording, traced-vs-untraced bit-identity at pool widths 1/4/16,
 # context-canceled request shedding, and the cimserve telemetry
-# endpoint lifecycle.
+# endpoint lifecycle. The sixth pins the serving fleet (docs/CLUSTER.md):
+# router edge cases, join/leave under in-flight traffic, rolling
+# reprogram with zero downtime, and the keyed-noise determinism suites
+# that make fleet outputs bit-identical at any engine count.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -55,6 +65,10 @@ race:
 		./internal/obs/ ./internal/crossbar/ ./internal/dpe/ \
 		./internal/serve/ ./internal/metrics/ ./internal/experiments/ \
 		./cmd/cimserve/
+	$(GO) test -race -count=1 \
+		-run 'Fleet|Router|Rolling|RoundRobin|Weighted|WearAware|JoinLeave|Keyed' \
+		./internal/fleet/ ./internal/serve/ ./internal/dpe/ \
+		./internal/experiments/ ./cmd/cimserve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -94,6 +108,16 @@ bench-obs:
 	$(GO) run ./cmd/cimbench -exp obs -format bench \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
 	@echo wrote BENCH_obs.json
+
+# Serving-fleet artifact (docs/CLUSTER.md): every routing policy at
+# engine counts 1/2/4/8 under closed-loop load with a rolling reprogram
+# mid-run. Simulated throughput, speedup vs 1 engine, wall p50/p99, and
+# the zero-downtime evidence (failed must be 0, rolled_engines = engines)
+# land in BENCH_fleet.json via cmd/benchjson.
+bench-fleet:
+	$(GO) run ./cmd/cimbench -exp fleet -format bench \
+		| $(GO) run ./cmd/benchjson -out BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

@@ -15,6 +15,10 @@
 //	                          # lines for cmd/benchjson (make bench-fault)
 //	cimbench -exp obs -format bench
 //	                          # tracer overhead measurements (make bench-obs)
+//	cimbench -exp fleet -format bench -engines 1,2,4,8
+//	                          # cluster-scale serving sweep: routing policy x
+//	                          # fleet size, rolling reprogram mid-run
+//	                          # (make bench-fleet)
 //	cimbench -trace out.json  # run the traced reference workload and write
 //	                          # a Chrome trace_event file (chrome://tracing,
 //	                          # ui.perfetto.dev)
@@ -40,16 +44,18 @@ import (
 
 	"cimrev/internal/energy"
 	"cimrev/internal/experiments"
+	"cimrev/internal/fleet"
 	"cimrev/internal/obs"
 	"cimrev/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs")
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs, fleet")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
+	engines := flag.String("engines", "1,2,4,8", "comma-separated fleet sizes for the fleet serving sweep")
 	workers := flag.Int("parallel", 0, "simulation worker-pool width: N goroutines, 1 = serial, 0 = GOMAXPROCS (results are identical at any width)")
-	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault/obs only)")
+	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault/obs/fleet only)")
 	trace := flag.String("trace", "", "run the traced reference workload and write Chrome trace_event JSON to this file")
 	attr := flag.Bool("attr", false, "run the traced reference workload and print the cost-attribution table")
 	flag.Parse()
@@ -62,7 +68,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *sizes, *boards, *format); err != nil {
+	if err := run(*exp, *sizes, *boards, *engines, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "cimbench:", err)
 		os.Exit(1)
 	}
@@ -118,7 +124,12 @@ type benchObs struct{ res *experiments.ObsResult }
 
 func (b benchObs) Format() string { return b.res.BenchFormat() }
 
-func run(exp, sizeList, boardList, format string) error {
+// benchFleet does the same for the fleet serving sweep.
+type benchFleet struct{ res *experiments.FleetResult }
+
+func (b benchFleet) Format() string { return b.res.BenchFormat() }
+
+func run(exp, sizeList, boardList, engineList, format string) error {
 	sizes, err := parseInts(sizeList)
 	if err != nil {
 		return fmt.Errorf("parse -sizes: %w", err)
@@ -127,11 +138,15 @@ func run(exp, sizeList, boardList, format string) error {
 	if err != nil {
 		return fmt.Errorf("parse -boards: %w", err)
 	}
+	engines, err := parseInts(engineList)
+	if err != nil {
+		return fmt.Errorf("parse -engines: %w", err)
+	}
 	if format != "text" && format != "bench" {
 		return fmt.Errorf("unknown format %q (want text or bench)", format)
 	}
-	if format == "bench" && exp != "fault" && exp != "obs" {
-		return fmt.Errorf("-format bench is only supported with -exp fault or -exp obs")
+	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" {
+		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, or -exp fleet")
 	}
 
 	// The canonical experiment order. Each job is independent, so selected
@@ -174,14 +189,26 @@ func run(exp, sizeList, boardList, format string) error {
 			}
 			return res, nil
 		}},
+		{"fleet", func() (formatter, error) {
+			res, err := experiments.FleetSweep(engines, fleet.PolicyNames(), 32, 2000)
+			if err != nil {
+				return nil, err
+			}
+			if format == "bench" {
+				return benchFleet{res}, nil
+			}
+			return res, nil
+		}},
 	}
 
 	selected := jobs[:0:0]
 	for _, j := range jobs {
-		// The obs overhead measurement is wall-clock timing; it only runs
-		// when asked for explicitly, never as part of -exp all (it would
-		// contend with the other experiments and measure noise).
-		if j.name == "obs" && exp != "obs" {
+		// The obs overhead measurement is wall-clock timing, and the fleet
+		// sweep runs closed-loop client goroutines with wall-clock latency
+		// quantiles; both only run when asked for explicitly, never as part
+		// of -exp all (they would contend with the other experiments and
+		// measure noise).
+		if (j.name == "obs" && exp != "obs") || (j.name == "fleet" && exp != "fleet") {
 			continue
 		}
 		if exp == "all" || exp == j.name {
@@ -189,7 +216,7 @@ func run(exp, sizeList, boardList, format string) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs, fleet)", exp)
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {

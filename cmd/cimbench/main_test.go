@@ -16,19 +16,22 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nonsense", "64", "1", "text"); err == nil {
+	if err := run("nonsense", "64", "1", "1", "text"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig2", "bad", "1", "text"); err == nil {
+	if err := run("fig2", "bad", "1", "1", "text"); err == nil {
 		t.Error("bad sizes accepted")
 	}
-	if err := run("fig2", "64", "bad", "text"); err == nil {
+	if err := run("fig2", "64", "bad", "1", "text"); err == nil {
 		t.Error("bad boards accepted")
 	}
-	if err := run("fig2", "64", "1", "xml"); err == nil {
+	if err := run("fleet", "64", "1", "bad", "text"); err == nil {
+		t.Error("bad engines accepted")
+	}
+	if err := run("fig2", "64", "1", "1", "xml"); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run("fig2", "64", "1", "bench"); err == nil {
+	if err := run("fig2", "64", "1", "1", "bench"); err == nil {
 		t.Error("-format bench accepted outside -exp fault")
 	}
 }
@@ -36,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// The cheap experiments run end to end (output goes to stdout).
 	for _, exp := range []string{"fig2", "table1", "table2"} {
-		if err := run(exp, "64", "1", "text"); err != nil {
+		if err := run(exp, "64", "1", "1", "text"); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
@@ -46,13 +49,13 @@ func TestRunSecVISmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("secvi", "64,128", "1", "text"); err != nil {
+	if err := run("secvi", "64,128", "1", "1", "text"); err != nil {
 		t.Errorf("run(secvi): %v", err)
 	}
-	if err := run("scale", "64", "1,2", "text"); err != nil {
+	if err := run("scale", "64", "1,2", "1", "text"); err != nil {
 		t.Errorf("run(scale): %v", err)
 	}
-	if err := run("fault", "64", "1", "bench"); err != nil {
+	if err := run("fault", "64", "1", "1", "bench"); err != nil {
 		t.Errorf("run(fault, bench): %v", err)
 	}
 }

@@ -16,6 +16,18 @@
 //     InferBatch, which overlaps batch items across the engine's stage
 //     pipeline (simulated time) and across the worker pool (wall time).
 //
+// With -engines N (N > 1) the batch mode becomes a fleet run: N
+// independent engines — each its own shadow pair, breaker, queue, and
+// metrics namespace — behind the -policy request router (round-robin,
+// least-loaded, weighted, wear-aware; internal/fleet, docs/CLUSTER.md).
+// Requests carry their noise key (the fleet sequence number), so per-
+// request outputs are bit-identical to a single-engine run under every
+// policy. -reprogram in fleet mode performs *rolling* reprograms: one
+// standby programs at a time, health-gated promotion, zero fleet downtime.
+// The -listen endpoint exposes every engine's registry on one /metrics
+// page with {engine="<id>"} labels and aggregates fleet health on
+// /healthz.
+//
 // Each mode reports wall-clock ns/op plus custom metrics: req_per_s (wall
 // throughput), sim_req_per_s (simulated throughput from the energy
 // algebra's virtual clock), p50_ns/p95_ns/p99_ns (wall latency quantiles
@@ -34,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +63,7 @@ import (
 
 	"cimrev/internal/dpe"
 	"cimrev/internal/faultinject"
+	"cimrev/internal/fleet"
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/serve"
@@ -69,6 +83,8 @@ type options struct {
 	stuck     float64
 	spares    int
 	listen    string
+	engines   int
+	policy    string
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -112,6 +128,11 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -stuck must be in [0, 1), got %g", o.stuck)
 	case o.spares < 0:
 		return fmt.Errorf("cimserve: -spares must be >= 0, got %d", o.spares)
+	case o.engines < 1:
+		return fmt.Errorf("cimserve: -engines must be >= 1, got %d", o.engines)
+	}
+	if _, err := fleet.ParsePolicy(o.policy); err != nil {
+		return fmt.Errorf("cimserve: -policy: %w", err)
 	}
 	return nil
 }
@@ -163,6 +184,8 @@ func main() {
 	flag.Float64Var(&o.stuck, "stuck", 0, "stuck-cell rate injected into every crossbar (split evenly GMin/GMax)")
 	flag.IntVar(&o.spares, "spares", 0, "spare columns per crossbar for fault remapping")
 	flag.StringVar(&o.listen, "listen", "", "address for the live telemetry endpoint (/metrics, /healthz, /debug/pprof); empty disables")
+	flag.IntVar(&o.engines, "engines", 1, "fleet size: engines behind the request router (1 = single-engine batch mode)")
+	flag.StringVar(&o.policy, "policy", "round-robin", "fleet routing policy: round-robin, least-loaded, weighted, wear-aware")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -242,7 +265,11 @@ func run(w io.Writer, o options) error {
 		emit(w, fmt.Sprintf("BenchmarkServe/serial_c%d", o.clients), serial, nil, nil)
 	}
 	if o.mode == "both" || o.mode == "batch" {
-		batch, err = runBatch(cfg, net, netB, inputs, o, tel)
+		if o.engines > 1 {
+			batch, err = runFleet(cfg, net, netB, inputs, o, tel)
+		} else {
+			batch, err = runBatch(cfg, net, netB, inputs, o, tel)
+		}
 		if err != nil {
 			return err
 		}
@@ -266,6 +293,12 @@ func run(w io.Writer, o options) error {
 			}
 		}
 		name := fmt.Sprintf("BenchmarkServe/batch_c%d_b%d", o.clients, o.batch)
+		if o.engines > 1 {
+			extra["engines"] = float64(o.engines)
+			order = append(order, "engines")
+			name = fmt.Sprintf("BenchmarkServe/fleet_c%d_b%d_e%d_%s",
+				o.clients, o.batch, o.engines, strings.ReplaceAll(o.policy, "-", "_"))
+		}
 		emit(w, name, batch, extra, order)
 	}
 	summary(os.Stderr, o, serial, batch)
@@ -454,6 +487,121 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		retries:         snap.Counters["serve.reprogram_retries"],
 	}
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
+	return st, nil
+}
+
+// runFleet measures cluster-scale serving: the closed-loop clients drive
+// o.engines independent serving pipelines behind the o.policy router.
+// Every request is stamped with its fleet sequence number as its noise
+// key, so outputs are bit-identical to a 1-engine run regardless of
+// placement. -reprogram fires rolling reprograms — each one updates every
+// engine, one standby at a time, with the fleet serving throughout.
+func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, tel *telemetry) (runStats, error) {
+	policy, err := fleet.ParsePolicy(o.policy)
+	if err != nil {
+		return runStats{}, err
+	}
+	f, _, err := fleet.New(cfg, net,
+		fleet.WithEngines(o.engines),
+		fleet.WithPolicy(policy),
+		fleet.WithServeOptions(
+			serve.WithBatch(o.batch, o.deadline),
+			serve.WithQueueBound(o.queue),
+			serve.WithRetry(3, time.Millisecond, 50*time.Millisecond),
+		),
+	)
+	if err != nil {
+		return runStats{}, err
+	}
+	defer f.Close()
+	if tel != nil {
+		tel.setFleet(f)
+	}
+
+	var issued, shed, unhealthy, reprogramFailed atomic.Int64
+	var energyBits atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := issued.Add(1) - 1
+				if i >= int64(o.requests) {
+					return
+				}
+				for {
+					_, cost, err := f.SubmitSeq(context.Background(), uint64(i), inputs[int(i)%len(inputs)])
+					if errors.Is(err, serve.ErrOverloaded) {
+						shed.Add(1)
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if errors.Is(err, serve.ErrUnhealthy) {
+						unhealthy.Add(1)
+						break
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					addEnergy(&energyBits, cost.EnergyPJ)
+					break
+				}
+			}
+		}(c)
+	}
+
+	// Rolling reprograms spread across the run: every engine swaps, one
+	// standby at a time, and no request ever fails for it.
+	if o.reprogram > 0 {
+		interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
+		if interval < 2*time.Millisecond {
+			interval = 2 * time.Millisecond
+		}
+		for k := 0; k < o.reprogram; k++ {
+			time.Sleep(interval)
+			target := netB
+			if k%2 == 1 {
+				target = net
+			}
+			rep := f.RollingReprogram(target)
+			reprogramFailed.Add(int64(rep.Failed))
+		}
+	}
+
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return runStats{}, err
+	}
+
+	st := runStats{
+		requests:        o.requests,
+		wall:            wall,
+		simPS:           f.SimTimePS(),
+		energyPJ:        loadEnergy(&energyBits),
+		lat:             f.Registry().Histogram("fleet.latency_ns").Snapshot(),
+		shed:            shed.Load(),
+		unhealthy:       unhealthy.Load(),
+		reprogramFailed: reprogramFailed.Load(),
+	}
+	var batchCount, batchSum float64
+	for _, e := range f.Engines() {
+		st.swaps += e.Pair().Swaps()
+		snap := e.Registry().Snapshot()
+		st.retries += snap.Counters["serve.reprogram_retries"]
+		if h, ok := snap.Histograms["serve.batch_size"]; ok {
+			batchCount += float64(h.Count)
+			batchSum += h.Sum
+		}
+	}
+	if batchCount > 0 {
+		st.avgBatch = batchSum / batchCount
+	}
 	return st, nil
 }
 

@@ -26,7 +26,7 @@ func TestParseLayers(t *testing.T) {
 
 func TestOptionsValidate(t *testing.T) {
 	good := options{clients: 4, requests: 8, batch: 2, deadline: time.Millisecond,
-		queue: 16, mode: "both", layers: []int{16, 8}}
+		queue: 16, mode: "both", layers: []int{16, 8}, engines: 1, policy: "round-robin"}
 	if err := good.validate(); err != nil {
 		t.Fatalf("good options rejected: %v", err)
 	}
@@ -42,6 +42,8 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *options) { o.stuck = -0.1 },
 		func(o *options) { o.stuck = 1 },
 		func(o *options) { o.spares = -1 },
+		func(o *options) { o.engines = 0 },
+		func(o *options) { o.policy = "random" },
 	}
 	for i, m := range mut {
 		o := good
@@ -132,5 +134,39 @@ func TestRunUnhealthySheds(t *testing.T) {
 	}
 	if !strings.Contains(out, "0 swaps") {
 		t.Errorf("unhealthy standby must not be swapped in:\n%s", out)
+	}
+}
+
+// TestRunFleetEndToEnd drives the fleet mode (-engines 4) with one rolling
+// reprogram mid-run and checks the bench line carries the fleet name and
+// the engines metric, with a clean error breakdown (zero downtime).
+func TestRunFleetEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	o := options{
+		clients:   8,
+		requests:  256,
+		batch:     8,
+		deadline:  time.Millisecond,
+		queue:     64,
+		mode:      "batch",
+		layers:    []int{32, 24, 10},
+		seed:      7,
+		reprogram: 1,
+		engines:   4,
+		policy:    "least-loaded",
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkServe/fleet_c8_b8_e4_least_loaded-",
+		"4 engines",
+		"0 shed", "0 unhealthy", "0 reprogram_failed",
+		"4 swaps", // one rolling reprogram swaps every engine once
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -3,12 +3,19 @@
 //
 //   - /metrics    — the serving registry in Prometheus text format
 //     (metrics.Snapshot.WriteProm): request/batch counters, latency and
-//     batch-size summaries, breaker state.
+//     batch-size summaries, breaker state. In fleet mode (-engines > 1)
+//     one page carries the fleet.* registry unlabeled plus every engine's
+//     private serve.* registry rendered with an {engine="<id>"} label
+//     (metrics.Snapshot.WritePromLabeled), so per-engine series share
+//     names without colliding.
 //   - /healthz    — JSON liveness: the live engine's fault scan (via
 //     ShadowPair.Health, which holds the engine's read gate so the scan
 //     cannot race a reprogram) plus breaker and swap state. 200 when
 //     serving and healthy, 503 when the breaker is open or columns are
-//     lost.
+//     lost. In fleet mode the body aggregates every engine (per-engine
+//     entries plus the rolling-reprogram status); the fleet is "ok" while
+//     at least one engine is routable — degraded members are listed, not
+//     fatal, because the router fails over around them.
 //   - /debug/pprof — the standard Go profiler endpoints, wired manually
 //     onto the private mux (the default mux is never used, so cimserve
 //     cannot leak handlers into importers).
@@ -23,9 +30,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
+	"cimrev/internal/fleet"
 	"cimrev/internal/metrics"
 	"cimrev/internal/serve"
 )
@@ -38,6 +47,7 @@ type telemetry struct {
 	reg  *metrics.Registry
 	pair *serve.ShadowPair
 	brk  *serve.Breaker
+	fl   *fleet.Fleet
 }
 
 // set installs the live serving objects (called once by runBatch).
@@ -47,6 +57,13 @@ func (t *telemetry) set(reg *metrics.Registry, pair *serve.ShadowPair, brk *serv
 	t.reg, t.pair, t.brk = reg, pair, brk
 }
 
+// setFleet installs the live fleet (called once by runFleet).
+func (t *telemetry) setFleet(f *fleet.Fleet) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fl = f
+}
+
 // get returns the current serving objects (any may be nil early on).
 func (t *telemetry) get() (*metrics.Registry, *serve.ShadowPair, *serve.Breaker) {
 	t.mu.Lock()
@@ -54,8 +71,26 @@ func (t *telemetry) get() (*metrics.Registry, *serve.ShadowPair, *serve.Breaker)
 	return t.reg, t.pair, t.brk
 }
 
-// handleMetrics renders the serving registry as Prometheus text.
+// getFleet returns the live fleet, nil outside fleet mode.
+func (t *telemetry) getFleet() *fleet.Fleet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fl
+}
+
+// handleMetrics renders the serving registry as Prometheus text. In fleet
+// mode it renders the fleet registry followed by each engine's registry
+// under an {engine="<id>"} label.
 func (t *telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if f := t.getFleet(); f != nil {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = f.Registry().Snapshot().WriteProm(w)
+		for _, e := range f.Engines() {
+			labels := map[string]string{"engine": strconv.Itoa(e.ID())}
+			_ = e.Registry().Snapshot().WritePromLabeled(w, labels)
+		}
+		return
+	}
 	reg, _, _ := t.get()
 	if reg == nil {
 		http.Error(w, "# registry not initialized yet\n", http.StatusServiceUnavailable)
@@ -77,10 +112,59 @@ type healthzBody struct {
 	CheckedAt string `json:"checked_at"`
 }
 
+// engineHealth is one fleet member's entry in the fleet /healthz body.
+type engineHealth struct {
+	ID       int   `json:"id"`
+	Tripped  bool  `json:"breaker_tripped"`
+	Draining bool  `json:"draining"`
+	Swaps    int64 `json:"swaps"`
+	LostCols int   `json:"lost_cols"`
+	Wear     int64 `json:"wear_writes"`
+	Routed   int64 `json:"routed"`
+}
+
+// fleetHealthzBody is the /healthz JSON shape in fleet mode.
+type fleetHealthzBody struct {
+	Status    string              `json:"status"` // "ok" or "unhealthy"
+	Engines   []engineHealth      `json:"engines"`
+	Rolling   fleet.RollingStatus `json:"rolling"`
+	CheckedAt string              `json:"checked_at"`
+}
+
 // handleHealthz scans the live engine through the shadow pair's read gate
 // and reports 200 (serving, healthy) or 503 (tripped breaker or lost
-// columns).
+// columns). In fleet mode the scan covers every member: the fleet is ok
+// while at least one engine is routable.
 func (t *telemetry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if f := t.getFleet(); f != nil {
+		body := fleetHealthzBody{
+			Rolling:   f.RollingStatus(),
+			CheckedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		}
+		routable := 0
+		for _, e := range f.Engines() {
+			h := e.Health()
+			eh := engineHealth{
+				ID: e.ID(), Tripped: e.Tripped(), Draining: e.Draining(),
+				Swaps: e.Pair().Swaps(), LostCols: h.Total.LostCols,
+				Wear: e.Wear(), Routed: e.Routed(),
+			}
+			if !eh.Tripped && !eh.Draining {
+				routable++
+			}
+			body.Engines = append(body.Engines, eh)
+		}
+		body.Status = "ok"
+		code := http.StatusOK
+		if routable == 0 {
+			body.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+		return
+	}
 	_, pair, brk := t.get()
 	body := healthzBody{Status: "initializing", CheckedAt: time.Now().UTC().Format(time.RFC3339Nano)}
 	code := http.StatusServiceUnavailable

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cimrev/internal/dpe"
+	"cimrev/internal/fleet"
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/serve"
@@ -205,5 +206,74 @@ func TestRunWithListen(t *testing.T) {
 	}
 	if !strings.Contains(body, fmt.Sprintf("serve_requests %d", o.requests)) {
 		t.Errorf("/metrics does not show the run's %d requests:\n%s", o.requests, body)
+	}
+}
+
+// TestTelemetryFleet: in fleet mode /metrics carries the fleet registry
+// plus every engine's registry under an {engine="<id>"} label, and
+// /healthz aggregates per-engine health with the rolling status.
+func TestTelemetryFleet(t *testing.T) {
+	tel := &telemetry{}
+	addr, stop, err := startTelemetry("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+
+	net, err := nn.NewMLP("tel-fleet", []int{16, 8}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dpe.DefaultConfig()
+	cfg.Crossbar.Rows, cfg.Crossbar.Cols = 64, 64
+	f, _, err := fleet.New(cfg, net, fleet.WithEngines(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tel.setFleet(f)
+
+	in := make([]float64, 16)
+	if _, _, err := f.Infer(in); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics fleet = %d, want 200", code)
+	}
+	for _, want := range []string{
+		"fleet_requests 1",
+		`serve_requests{engine="0"}`,
+		`serve_requests{engine="1"}`,
+		`serve_latency_ns{engine="0",quantile="0.5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet /metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz fleet = %d, want 200", code)
+	}
+	var fb fleetHealthzBody
+	if err := json.Unmarshal([]byte(body), &fb); err != nil {
+		t.Fatalf("fleet /healthz body not JSON: %v (%q)", err, body)
+	}
+	if fb.Status != "ok" || len(fb.Engines) != 2 || fb.Rolling.Active {
+		t.Errorf("fleet /healthz body = %+v", fb)
+	}
+
+	// Drain every engine: the fleet has no routable members and /healthz
+	// must flip to 503.
+	for _, e := range f.Engines() {
+		if err := f.Leave(e.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, _ := getBody(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with no routable engines = %d, want 503", code)
 	}
 }

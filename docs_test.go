@@ -1,0 +1,55 @@
+package cimrev
+
+// Documentation cross-reference check (make docs-check, part of make
+// verify): README.md and DESIGN.md are the two entry points into docs/,
+// so every docs/*.md they reference must exist, and every file in docs/
+// must be reachable from at least one of them. This keeps the system map
+// honest — a document cannot be deleted while still linked, and a new
+// document cannot land orphaned.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var docsRefRe = regexp.MustCompile(`docs/[A-Za-z0-9_.-]+\.md`)
+
+func TestDocsCrossReferences(t *testing.T) {
+	entryPoints := []string{"README.md", "DESIGN.md"}
+	referenced := map[string][]string{} // docs/X.md -> entry points naming it
+	for _, entry := range entryPoints {
+		data, err := os.ReadFile(entry)
+		if err != nil {
+			t.Fatalf("reading %s: %v", entry, err)
+		}
+		for _, ref := range docsRefRe.FindAllString(string(data), -1) {
+			referenced[ref] = append(referenced[ref], entry)
+		}
+	}
+	if len(referenced) == 0 {
+		t.Fatal("no docs/*.md references found in README.md or DESIGN.md")
+	}
+
+	// Every reference must resolve to a real file.
+	for ref, from := range referenced {
+		if _, err := os.Stat(ref); err != nil {
+			t.Errorf("%v reference %s: %v", from, ref, err)
+		}
+	}
+
+	// Every document must be referenced — no orphans.
+	files, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("docs/ contains no markdown files")
+	}
+	for _, f := range files {
+		if _, ok := referenced[filepath.ToSlash(f)]; !ok {
+			t.Errorf("%s is orphaned: not referenced from README.md or DESIGN.md", f)
+		}
+	}
+}

@@ -131,6 +131,22 @@ func (e *Engine) ProgramCost() energy.Cost { return e.programCost }
 // to call concurrently with InferBatch.
 func (e *Engine) Inferences() int64 { return e.inferences.Load() }
 
+// Wear returns the engine's lifetime cell-write count: the sum of every
+// stage tile's Writes(), retry pulses and retired-array history included.
+// Inference never writes, so wear moves only on Load/Reprogram/Repair; the
+// fleet router's wear-aware policy reads it between batches. Wear must not
+// race a concurrent Load/Reprogram/Repair (serve.ShadowPair.Wear holds the
+// live engine's read gate for exactly this reason).
+func (e *Engine) Wear() int64 {
+	var w int64
+	for i := range e.stages {
+		if t := e.stages[i].tile; t != nil {
+			w += t.Writes()
+		}
+	}
+	return w
+}
+
 // CrossbarCount returns the number of physical crossbar arrays in use.
 func (e *Engine) CrossbarCount() int {
 	var n int
@@ -468,7 +484,7 @@ func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error
 // clamps at zero.
 func (e *Engine) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
 	sp := pc.Child("dpe.infer_batch")
-	outs, cost, err := e.inferBatch(sp, inputs)
+	outs, cost, err := e.inferBatch(sp, inputs, nil)
 	if sp.Active() {
 		sp.Annotate("batch", float64(len(inputs)))
 	}
@@ -476,7 +492,40 @@ func (e *Engine) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, ene
 	return outs, cost, err
 }
 
-func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
+// InferBatchKeyed is InferBatch with caller-owned noise sequence numbers:
+// item i draws its analog read noise from the stream for seqs[i] instead of
+// claiming the engine's internal inference counter. This is the fleet
+// determinism primitive (docs/CLUSTER.md): because the noise stream is a
+// pure function of (Config.Seed, sequence number, stage, position), any
+// engine built from the same Config produces bit-identical output for the
+// same (seq, input) pair — regardless of which engine serves it, how
+// requests are batched, or the worker-pool width. The engine's own
+// inference counter is untouched; the caller owns the key space (the fleet
+// router stamps each request with its global arrival index).
+func (e *Engine) InferBatchKeyed(seqs []uint64, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	return e.InferBatchKeyedCtx(obs.Ctx{}, seqs, inputs)
+}
+
+// InferBatchKeyedCtx is InferBatchKeyed with tracing: the same
+// "dpe.infer_batch" span tree as InferBatchCtx, annotated keyed=1.
+func (e *Engine) InferBatchKeyedCtx(pc obs.Ctx, seqs []uint64, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	if len(seqs) != len(inputs) {
+		return nil, energy.Zero, fmt.Errorf("dpe: %d noise keys for %d inputs", len(seqs), len(inputs))
+	}
+	sp := pc.Child("dpe.infer_batch")
+	outs, cost, err := e.inferBatch(sp, inputs, seqs)
+	if sp.Active() {
+		sp.Annotate("batch", float64(len(inputs)))
+		sp.Annotate("keyed", 1)
+	}
+	sp.End(cost)
+	return outs, cost, err
+}
+
+// inferBatch runs the batch. With seqs == nil, items claim a contiguous run
+// of the engine's inference counter (seq0+i); with seqs != nil, item i uses
+// the caller-supplied key seqs[i] and the counter does not advance.
+func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64, seqs []uint64) ([][]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
 	}
@@ -489,12 +538,19 @@ func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64) ([][]float64, energy
 		}
 	}
 
-	seq0 := e.seq.Add(uint64(len(inputs))) - uint64(len(inputs))
+	var seq0 uint64
+	if seqs == nil {
+		seq0 = e.seq.Add(uint64(len(inputs))) - uint64(len(inputs))
+	}
 	outs := make([][]float64, len(inputs))
 	totals := make([]energy.Cost, len(inputs))
 	stageMaxes := make([]int64, len(inputs))
 	if err := parallel.ForErr(len(inputs), func(i int) error {
-		perInf := e.src.Derive(seq0 + uint64(i))
+		key := seq0 + uint64(i)
+		if seqs != nil {
+			key = seqs[i]
+		}
+		perInf := e.src.Derive(key)
 		item := sp.Child("dpe.infer")
 		v := inputs[i]
 		var stageMax int64

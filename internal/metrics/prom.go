@@ -37,6 +37,42 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// PromLabel renders a label set as a Prometheus label block ("{k=\"v\"}"),
+// keys sorted, values escaped per the exposition format. Empty or nil maps
+// render as the empty string (no braces).
+func PromLabel(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ks := make([]string, 0, len(labels))
+	for k := range labels {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range ks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(labels[k])
+		fmt.Fprintf(&b, `%s="%s"`, PromName(k), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels folds extra labels into a rendered label block, used for the
+// histogram quantile series (quantile plus any instance labels).
+func mergeLabels(labels map[string]string, k, v string) string {
+	m := make(map[string]string, len(labels)+1)
+	for lk, lv := range labels {
+		m[lk] = lv
+	}
+	m[k] = v
+	return PromLabel(m)
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition format
 // (version 0.0.4), sorted by metric name for stable scrapes:
 //
@@ -46,6 +82,17 @@ func PromName(name string) string {
 //   - histograms as TYPE summary with p50/p95/p99 quantile series plus
 //     _sum, _count, _min, and _max
 func (s Snapshot) WriteProm(w io.Writer) error {
+	return s.WritePromLabeled(w, nil)
+}
+
+// WritePromLabeled is WriteProm with an instance label set attached to
+// every series. This is how cimserve exposes a fleet on one /metrics
+// endpoint: each engine's private registry renders with
+// {engine="<id>"}, so per-engine series share metric names without
+// colliding — the Prometheus-native multi-instance idiom. A nil or empty
+// label map renders identically to WriteProm.
+func (s Snapshot) WritePromLabeled(w io.Writer, labels map[string]string) error {
+	lb := PromLabel(labels)
 	names := func(n int) []string { return make([]string, 0, n) }
 
 	ks := names(len(s.Counters))
@@ -55,7 +102,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	sort.Strings(ks)
 	for _, k := range ks {
 		n := PromName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", n, n, lb, s.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -67,7 +114,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	sort.Strings(ks)
 	for _, k := range ks {
 		n := PromName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", n, n, lb, s.Gauges[k]); err != nil {
 			return err
 		}
 	}
@@ -79,7 +126,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	sort.Strings(ks)
 	for _, k := range ks {
 		n := PromName(k) + "_per_second"
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Rates[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", n, n, lb, s.Rates[k]); err != nil {
 			return err
 		}
 	}
@@ -96,12 +143,13 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			return err
 		}
 		for _, q := range promQuantiles {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+			ql := mergeLabels(labels, "quantile", fmt.Sprintf("%g", q))
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", n, ql, h.Quantile(q)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n%s_min %g\n%s_max %g\n",
-			n, h.Sum, n, h.Count, n, h.Min, n, h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n%s_min%s %g\n%s_max%s %g\n",
+			n, lb, h.Sum, n, lb, h.Count, n, lb, h.Min, n, lb, h.Max); err != nil {
 			return err
 		}
 	}

@@ -59,3 +59,45 @@ func TestWriteProm(t *testing.T) {
 		t.Error("WriteProm output not deterministic")
 	}
 }
+
+// TestWritePromLabeled: an instance label set attaches to every series —
+// the fleet's per-engine exposition — with sorted keys, escaped values,
+// and quantile labels merged rather than replaced.
+func TestWritePromLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(3)
+	r.Gauge("fleet.engines").Set(4)
+	r.Histogram("serve.latency_ns").Observe(50)
+
+	var b strings.Builder
+	err := r.Snapshot().WritePromLabeled(&b, map[string]string{"engine": "2", "zone": `a"b`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"serve_requests{engine=\"2\",zone=\"a\\\"b\"} 3\n",
+		"fleet_engines{engine=\"2\",zone=\"a\\\"b\"} 4\n",
+		`serve_latency_ns{engine="2",quantile="0.5",zone="a\"b"} 50`,
+		"serve_latency_ns_count{engine=\"2\",zone=\"a\\\"b\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil labels degrade to the unlabeled form.
+	var plain, nilLabeled strings.Builder
+	if err := r.Snapshot().WriteProm(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePromLabeled(&nilLabeled, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != nilLabeled.String() {
+		t.Error("WritePromLabeled(nil) differs from WriteProm")
+	}
+	if got := PromLabel(nil); got != "" {
+		t.Errorf("PromLabel(nil) = %q, want empty", got)
+	}
+}

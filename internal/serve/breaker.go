@@ -149,6 +149,18 @@ func (b *Breaker) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, en
 	return b.pair.InferBatchCtx(pc, inputs)
 }
 
+// InferBatchKeyedCtx is the request-keyed-noise variant of InferBatchCtx:
+// it forwards caller-owned noise sequence numbers to the pair (and from
+// there to dpe.Engine.InferBatchKeyed), shedding identically to
+// InferBatchCtx while the breaker is open.
+func (b *Breaker) InferBatchKeyedCtx(pc obs.Ctx, seqs []uint64, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	if b.tripped.Load() {
+		b.met.shed.Add(int64(len(inputs)))
+		return nil, energy.Zero, fmt.Errorf("serve: breaker open: %w", ErrUnhealthy)
+	}
+	return b.pair.InferBatchKeyedCtx(pc, seqs, inputs)
+}
+
 // Reprogram pushes net through the shadow pair with retry, backoff, and a
 // post-swap accuracy probe. On success the breaker (re)closes. Failure
 // modes:

@@ -1,0 +1,43 @@
+package serve_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cimrev/internal/dpe"
+	"cimrev/internal/nn"
+	"cimrev/internal/serve"
+)
+
+// ExampleShadowPair_Reprogram shows the zero-downtime weight update: the
+// standby engine absorbs the full crossbar programming cost while the
+// live engine keeps serving, and only a buffer swap lands on the visible
+// (serving) critical path.
+func ExampleShadowPair_Reprogram() {
+	cfg := dpe.DefaultConfig()
+	cfg.Crossbar.Rows, cfg.Crossbar.Cols = 64, 64
+
+	netV1, err := nn.NewMLP("v1", []int{16, 8}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	netV2, err := nn.NewMLP("v2", []int{16, 8}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		panic(err)
+	}
+
+	pair, _, err := serve.NewShadowPair(cfg, netV1)
+	if err != nil {
+		panic(err)
+	}
+
+	visible, hidden, err := pair.Reprogram(netV2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("swaps:", pair.Swaps())
+	fmt.Println("programming hidden behind serving:", visible.LatencyPS < hidden.LatencyPS)
+	// Output:
+	// swaps: 1
+	// programming hidden behind serving: true
+}

@@ -66,6 +66,17 @@ type ctxBackend interface {
 	InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error)
 }
 
+// keyedBackend is the optional request-keyed-noise variant of Backend
+// (dpe.Engine, ShadowPair, Breaker). Requests submitted via SubmitKeyed
+// carry their own noise sequence numbers down to the engine, making their
+// outputs a pure function of (engine config, key, input) — independent of
+// batch composition, queue interleaving, or which engine of a fleet serves
+// them (docs/CLUSTER.md). Backends without it serve keyed requests through
+// the plain path, ignoring the keys.
+type keyedBackend interface {
+	InferBatchKeyedCtx(pc obs.Ctx, seqs []uint64, inputs [][]float64) ([][]float64, energy.Cost, error)
+}
+
 // ErrOverloaded is returned by Submit when the ingress queue is at its
 // high-water mark. The request was NOT enqueued; the caller owns the retry
 // policy. This is the backpressure contract: past QueueBound the server
@@ -81,10 +92,13 @@ var ErrClosed = errors.New("serve: server closed")
 // caller has stopped paying for it.
 var ErrCanceled = errors.New("serve: request canceled")
 
-// request is one enqueued inference.
+// request is one enqueued inference. keyed requests carry their own noise
+// sequence number down to a keyedBackend.
 type request struct {
 	ctx   context.Context
 	in    []float64
+	seq   uint64
+	keyed bool
 	start time.Time
 	resp  chan response
 }
@@ -132,7 +146,8 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 type Server struct {
 	cfg     Config
 	backend Backend
-	cbe     ctxBackend // non-nil iff backend implements InferBatchCtx
+	cbe     ctxBackend   // non-nil iff backend implements InferBatchCtx
+	kbe     keyedBackend // non-nil iff backend implements InferBatchKeyedCtx
 	reg     *metrics.Registry
 	met     serverMetrics
 	tracer  *obs.Tracer
@@ -176,12 +191,18 @@ func New(backend Backend, opts ...Option) (*Server, error) {
 		dispatcherDone: make(chan struct{}),
 	}
 	s.cbe, _ = backend.(ctxBackend)
+	s.kbe, _ = backend.(keyedBackend)
 	go s.dispatch()
 	return s, nil
 }
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// QueueDepth returns how many requests currently wait in the ingress
+// queue. It is a point-in-time reading, safe to call concurrently — the
+// fleet router's least-loaded policy polls it on every routing decision.
+func (s *Server) QueueDepth() int { return len(s.queue) }
 
 // SimTimePS returns the accumulated simulated serving time in picoseconds:
 // the sum of every flushed batch's critical-path latency. Requests per
@@ -205,13 +226,33 @@ func (s *Server) Infer(in []float64) ([]float64, energy.Cost, error) {
 // one already mid-batch completes on the device but its result is
 // discarded.
 func (s *Server) Submit(ctx context.Context, in []float64) ([]float64, energy.Cost, error) {
+	return s.submit(&request{ctx: ctx, in: in})
+}
+
+// SubmitKeyed is Submit with a caller-owned noise sequence number: the
+// request's analog read noise is drawn from the stream for seq instead of
+// the backend engine's internal inference counter, so the output is a pure
+// function of (engine config, seq, input) — identical no matter how the
+// batcher groups it or which engine of a fleet serves it. Requires a
+// backend implementing InferBatchKeyedCtx (dpe.Engine, ShadowPair,
+// Breaker); over a plain Backend the key is ignored and SubmitKeyed
+// behaves exactly like Submit. See docs/CLUSTER.md for the determinism
+// contract this enables.
+func (s *Server) SubmitKeyed(ctx context.Context, seq uint64, in []float64) ([]float64, energy.Cost, error) {
+	return s.submit(&request{ctx: ctx, in: in, seq: seq, keyed: s.kbe != nil})
+}
+
+func (s *Server) submit(req *request) ([]float64, energy.Cost, error) {
+	ctx := req.ctx
 	if ctx == nil {
 		ctx = context.Background()
+		req.ctx = ctx
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, energy.Zero, fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
-	req := &request{ctx: ctx, in: in, start: time.Now(), resp: make(chan response, 1)}
+	req.start = time.Now()
+	req.resp = make(chan response, 1)
 
 	s.ingressMu.RLock()
 	if s.closed {
@@ -311,31 +352,66 @@ func (s *Server) shedCanceled(batch []*request) []*request {
 	return kept
 }
 
-// inferBatch invokes the backend, threading the flush span through the
-// traced interface when the backend supports it.
-func (s *Server) inferBatch(sp obs.Ctx, inputs [][]float64) ([][]float64, energy.Cost, error) {
+// inferBatch invokes the backend for one flush group. Keyed groups (every
+// request stamped with its own noise sequence number, keyedBackend
+// available) go through InferBatchKeyedCtx; everything else takes the
+// plain path, traced when the backend supports it.
+func (s *Server) inferBatch(sp obs.Ctx, batch []*request, inputs [][]float64, keyed bool) ([][]float64, energy.Cost, error) {
+	if keyed {
+		seqs := make([]uint64, len(batch))
+		for i, req := range batch {
+			seqs[i] = req.seq
+		}
+		return s.kbe.InferBatchKeyedCtx(sp, seqs, inputs)
+	}
 	if s.cbe != nil {
 		return s.cbe.InferBatchCtx(sp, inputs)
 	}
 	return s.backend.InferBatch(inputs)
 }
 
-// flush runs one batch through the backend and distributes results. A
-// batch-level error falls back to per-request execution so that one bad
-// request (wrong input length, say) cannot poison its batchmates: only the
-// offending request sees its error. Each flush is one root span
-// ("serve.flush") when tracing is enabled.
+// flush runs one collected batch through the backend. When the batch mixes
+// keyed and unkeyed requests (possible only if callers mix Submit and
+// SubmitKeyed on one server), it splits into two device batches so keyed
+// requests never consume engine-counter sequence numbers out from under
+// unkeyed ones.
 func (s *Server) flush(batch []*request) {
 	batch = s.shedCanceled(batch)
 	if len(batch) == 0 {
 		return
 	}
+	if s.kbe == nil {
+		s.flushGroup(batch, false)
+		return
+	}
+	var keyed, plain []*request
+	for _, req := range batch {
+		if req.keyed {
+			keyed = append(keyed, req)
+		} else {
+			plain = append(plain, req)
+		}
+	}
+	if len(plain) > 0 {
+		s.flushGroup(plain, false)
+	}
+	if len(keyed) > 0 {
+		s.flushGroup(keyed, true)
+	}
+}
+
+// flushGroup runs one device batch through the backend and distributes
+// results. A batch-level error falls back to per-request execution so that
+// one bad request (wrong input length, say) cannot poison its batchmates:
+// only the offending request sees its error. Each group is one root span
+// ("serve.flush") when tracing is enabled.
+func (s *Server) flushGroup(batch []*request, keyed bool) {
 	inputs := make([][]float64, len(batch))
 	for i, req := range batch {
 		inputs[i] = req.in
 	}
 	sp := s.tracer.Root("serve.flush")
-	outs, cost, err := s.inferBatch(sp, inputs)
+	outs, cost, err := s.inferBatch(sp, batch, inputs, keyed)
 	if sp.Active() {
 		sp.Annotate("batch", float64(len(batch)))
 		if err != nil {
@@ -357,7 +433,7 @@ func (s *Server) flush(batch []*request) {
 			return
 		}
 		s.met.batchErrors.Inc()
-		s.flushIndividually(batch)
+		s.flushIndividually(batch, keyed)
 		return
 	}
 	s.met.batches.Inc()
@@ -373,11 +449,12 @@ func (s *Server) flush(batch []*request) {
 
 // flushIndividually retries a failed batch one request at a time,
 // isolating the poison pill. Healthy requests pay single-request batch
-// cost; failing ones get their own error.
-func (s *Server) flushIndividually(batch []*request) {
+// cost; failing ones get their own error. Keyed requests keep their keys,
+// so the retried output is bit-identical to the batched one.
+func (s *Server) flushIndividually(batch []*request, keyed bool) {
 	for _, req := range batch {
 		sp := s.tracer.Root("serve.flush_single")
-		outs, cost, err := s.inferBatch(sp, [][]float64{req.in})
+		outs, cost, err := s.inferBatch(sp, []*request{req}, [][]float64{req.in}, keyed)
 		sp.End(cost)
 		if err != nil {
 			s.met.errors.Inc()

@@ -111,6 +111,29 @@ func (p *ShadowPair) InferBatchCtx(pc obs.Ctx, inputs [][]float64) ([][]float64,
 	return g.eng.InferBatchCtx(pc, inputs)
 }
 
+// InferBatchKeyedCtx serves the batch from the live engine with
+// caller-owned noise sequence numbers (dpe.Engine.InferBatchKeyed). Because
+// both engines of the pair share one Config and seed, keyed outputs are
+// bit-identical across swaps — and across every other pair built from the
+// same Config, which is what lets a fleet of pairs fan requests out without
+// disturbing per-request determinism (docs/CLUSTER.md).
+func (p *ShadowPair) InferBatchKeyedCtx(pc obs.Ctx, seqs []uint64, inputs [][]float64) ([][]float64, energy.Cost, error) {
+	g := p.live.Load()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eng.InferBatchKeyedCtx(pc, seqs, inputs)
+}
+
+// Wear returns the live engine's lifetime cell-write count, read under its
+// gate so the count cannot race a reprogram of a just-retired standby. The
+// fleet router's wear-aware policy polls this between batches.
+func (p *ShadowPair) Wear() int64 {
+	g := p.live.Load()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.eng.Wear()
+}
+
 // Health scans the engine currently on the serving path, holding its read
 // gate so the scan cannot race a reprogram of a just-retired standby. This
 // is the safe form for liveness endpoints (cimserve -listen /healthz):
