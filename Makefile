@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-serve bench-fault bench-obs bench-fleet cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -47,7 +47,10 @@ test:
 # endpoint lifecycle. The sixth pins the serving fleet (docs/CLUSTER.md):
 # router edge cases, join/leave under in-flight traffic, rolling
 # reprogram with zero downtime, and the keyed-noise determinism suites
-# that make fleet outputs bit-identical at any engine count.
+# that make fleet outputs bit-identical at any engine count. The seventh
+# pins the GEMM batching path (docs/PERF.md): batch-vs-looped bit-identity
+# across functional, bit-serial, noisy keyed/unkeyed, and fault-remapped
+# kernels, mixed-shape scratch-pool reuse, and concurrent batched MVMs.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -69,17 +72,30 @@ race:
 		-run 'Fleet|Router|Rolling|RoundRobin|Weighted|WearAware|JoinLeave|Keyed' \
 		./internal/fleet/ ./internal/serve/ ./internal/dpe/ \
 		./internal/experiments/ ./cmd/cimserve/
+	$(GO) test -race -count=1 \
+		-run 'MVMBatch|InferBatch|ScratchReuse' \
+		./internal/crossbar/ ./internal/dpe/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable record of the MVM kernel benchmarks (satellite of the
-# cache-aware kernel rewrite): runs the BenchmarkCrossbarMVM sweep with
-# allocation stats and converts the output to BENCH_mvm.json. Also runs
+# Machine-readable record of the MVM kernel benchmarks: the single-vector
+# BenchmarkCrossbarMVM sweep plus the batched BenchmarkCrossbarMVMBatch
+# GEMM sweep (batch 1/8/32/128 x 64..512, with each result's interleaved
+# looped-baseline speedup metric), converted to BENCH_mvm.json. Also runs
 # the serving-pipeline benchmark so BENCH_serve.json stays in step.
-bench-json: bench-serve
-	$(GO) test -run '^$$' -bench 'BenchmarkCrossbarMVM$$' -benchmem . \
-		| $(GO) run ./cmd/benchjson -out BENCH_mvm.json
+bench-json: bench-serve bench-mvm
+
+# The MVM sweeps alone, with the GEMM regression gate: fails unless every
+# deterministic batch >= 8 result on an ISAAC-scale panel (>= 256) beats
+# the looped per-vector baseline by at least 1.5x (the speedup metric is
+# measured interleaved inside one benchmark, so host clock drift between
+# runs cannot fake or mask a regression; noisy mode and cache-resident
+# sub-256 panels are exempt — see docs/PERF.md).
+bench-mvm:
+	$(GO) test -run '^$$' -bench '^BenchmarkCrossbarMVM(Batch)?$$' \
+		-benchtime 5x -benchmem . \
+		| $(GO) run ./cmd/benchjson -gate-batch-speedup 1.5 -out BENCH_mvm.json
 	@echo wrote BENCH_mvm.json
 
 # Serving-pipeline benchmark: 64 closed-loop clients over the 8-bit MLP

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"cimrev/internal/cim"
 	"cimrev/internal/crossbar"
@@ -377,6 +378,133 @@ func BenchmarkCrossbarMVM(b *testing.B) {
 		noisy := base
 		noisy.ReadNoise = 0.02
 		run(fmt.Sprintf("%dx%d_8b_noisy", n, n), noisy, n, NewNoiseSource(7))
+	}
+}
+
+// BenchmarkCrossbarMVMBatch is the GEMM-path trajectory: the batched
+// multi-vector kernel (MVMBatchInto) over a size × batch sweep, in
+// bit-serial, functional, and noisy (per-item keyed sources) modes. Each
+// iteration times the looped MVMInto baseline and the batched kernel
+// back to back on the same inputs, so the reported "speedup" metric
+// compares the two paths under identical host conditions — immune to the
+// CPU-frequency drift that makes cross-benchmark ratios unreliable.
+// "ns/vec" is the batched kernel's per-vector time; "looped-ns/vec" the
+// baseline's. `make bench-mvm` archives this sweep next to the
+// single-vector one in BENCH_mvm.json and gates the deterministic modes
+// at batch ≥ 8 and panel ≥ 256 on speedup ≥ 1.5× (see cmd/benchjson
+// -gate-batch-speedup; noisy and sub-256 results are structural
+// exemptions, docs/PERF.md).
+func BenchmarkCrossbarMVMBatch(b *testing.B) {
+	run := func(name string, cfg crossbar.Config, n, batch int, noisy bool) {
+		b.Run(name, func(b *testing.B) {
+			cfg.Rows, cfg.Cols = n, n
+			xb, err := crossbar.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			if _, err := xb.Program(randomMatrix(rng, n, n)); err != nil {
+				b.Fatal(err)
+			}
+			ins := make([][]float64, batch)
+			dsts := make([][]float64, batch)
+			slab := make([]float64, batch*n)
+			var nss []NoiseSource
+			if noisy {
+				root := NewNoiseSource(7)
+				nss = make([]NoiseSource, batch)
+				for i := range nss {
+					nss[i] = root.Derive(uint64(i))
+				}
+			}
+			for i := range ins {
+				ins[i] = randomVector(rng, n)
+				dsts[i] = slab[i*n : (i+1)*n]
+			}
+			// Warm the scratch pool outside the timed region so the
+			// archived allocs/op reflect steady state (0), not the
+			// one-time pool fill.
+			if _, err := xb.MVMBatchInto(dsts, ins, nss); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var loopNS, batchNS int64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for j := range ins {
+					ns := NoNoise
+					if nss != nil {
+						ns = nss[j]
+					}
+					if _, err := xb.MVMInto(dsts[j], ins[j], ns); err != nil {
+						b.Fatal(err)
+					}
+				}
+				t1 := time.Now()
+				if _, err := xb.MVMBatchInto(dsts, ins, nss); err != nil {
+					b.Fatal(err)
+				}
+				batchNS += time.Since(t1).Nanoseconds()
+				loopNS += t1.Sub(t0).Nanoseconds()
+			}
+			b.StopTimer() // keep ReportMetric's map work out of allocs/op
+			// Per-vector time is what the batch amortizes; report both paths
+			// so the archived sweep carries its own like-for-like baseline.
+			b.ReportMetric(float64(batchNS)/float64(b.N)/float64(batch), "ns/vec")
+			b.ReportMetric(float64(loopNS)/float64(b.N)/float64(batch), "looped-ns/vec")
+			if batchNS > 0 {
+				b.ReportMetric(float64(loopNS)/float64(batchNS), "speedup")
+			}
+		})
+	}
+	for _, n := range []int{64, 128, 256, 512} {
+		for _, batch := range []int{1, 8, 32, 128} {
+			base := crossbar.DefaultConfig() // 8b weights, 8b inputs
+			run(fmt.Sprintf("%dx%d_8b_b%d", n, n, batch), base, n, batch, false)
+
+			fn := base
+			fn.Functional = true
+			run(fmt.Sprintf("%dx%d_8b_func_b%d", n, n, batch), fn, n, batch, false)
+
+			noisy := base
+			noisy.ReadNoise = 0.02
+			run(fmt.Sprintf("%dx%d_8b_noisy_b%d", n, n, batch), noisy, n, batch, true)
+		}
+	}
+}
+
+// BenchmarkEngineInferBatch tracks the DPE-level batch win — the full
+// stage pipeline (quantize, tile dispatch, bias, digital stages) on the
+// GEMM path, not just the raw kernel — with allocations reported.
+func BenchmarkEngineInferBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("mlp256_b%d", batch), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			net, err := nn.NewMLP("bench", []int{256, 256, 10}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := dpe.New(dpe.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Load(net); err != nil {
+				b.Fatal(err)
+			}
+			inputs := make([][]float64, batch)
+			for i := range inputs {
+				inputs[i] = randomVector(rng, 256)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.InferBatch(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/vec")
+		})
 	}
 }
 

@@ -1,0 +1,495 @@
+package crossbar
+
+// Batch-kernel equivalence suite: MVMBatch / MVMBatchInto / Tile.MVMBatch
+// must be bit-identical to looping the single-vector kernel over the
+// items — functional, bit-serial packed and generic, noisy keyed and
+// unkeyed, fault-remapped tiles, ragged final item blocks, and the
+// batch = 0/1 edges — plus the zero-allocation and mixed-shape scratch
+// contracts. `make race` pins this suite by name ('Batch').
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cimrev/internal/faultinject"
+	"cimrev/internal/noise"
+	"cimrev/internal/parallel"
+)
+
+// batchInputs builds n deterministic random input vectors of length dim.
+func batchInputs(rng *rand.Rand, n, dim int) [][]float64 {
+	ins := make([][]float64, n)
+	for i := range ins {
+		ins[i] = randomVector(rng, dim)
+	}
+	return ins
+}
+
+// perItemSources derives one noise source per item from a root, the way
+// the DPE keys item i to stream seqs[i].
+func perItemSources(root noise.Source, n int) []noise.Source {
+	nss := make([]noise.Source, n)
+	for i := range nss {
+		nss[i] = root.Derive(uint64(i))
+	}
+	return nss
+}
+
+// TestMVMBatchMatchesLoopedMVMInto is the core equivalence contract:
+// across functional, packed bit-serial (CellBits 2 → 4 slices), generic
+// bit-serial (CellBits 1 → 8 slices, no lane packing), noise on/off, odd
+// shapes, and batch sizes around the kernel's item-block boundaries, the
+// batched kernel must equal a loop of single-vector MVMInto calls with ==.
+func TestMVMBatchMatchesLoopedMVMInto(t *testing.T) {
+	shapes := []struct{ m, n int }{
+		{16, 16},
+		{13, 7}, // odd remainders
+		{1, 9},  // single row
+	}
+	batches := []int{0, 1, 2, 3, 5, 17} // 17 > one item block at 16 rows? exercises ragged blocks
+	for _, functional := range []bool{false, true} {
+		for _, cellBits := range []int{1, 2} {
+			for _, sigma := range []float64{0, 0.03} {
+				if functional && sigma > 0 {
+					continue // functional mode has no noise path
+				}
+				for _, sh := range shapes {
+					for _, bsz := range batches {
+						cfg := DefaultConfig()
+						cfg.Rows, cfg.Cols = 16, 16
+						cfg.CellBits = cellBits
+						cfg.Functional = functional
+						cfg.ReadNoise = sigma
+
+						rng := rand.New(rand.NewSource(int64(sh.m*1000 + sh.n*10 + cellBits + bsz)))
+						w := randomMatrix(rng, sh.m, sh.n)
+						ins := batchInputs(rng, bsz, sh.m)
+
+						xb, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if _, err := xb.Program(w); err != nil {
+							t.Fatal(err)
+						}
+						var nss []noise.Source
+						if sigma > 0 {
+							nss = perItemSources(noise.NewSource(99), bsz)
+						}
+
+						// Serial oracle: loop MVMInto with item i's source.
+						want := make([][]float64, bsz)
+						var wantCost, gotCost [2]int64
+						for i := 0; i < bsz; i++ {
+							ns := NoNoise
+							if nss != nil {
+								ns = nss[i]
+							}
+							want[i] = make([]float64, sh.n)
+							c, err := xb.MVMInto(want[i], ins[i], ns)
+							if err != nil {
+								t.Fatal(err)
+							}
+							wantCost = [2]int64{c.LatencyPS, int64(c.EnergyPJ)}
+						}
+
+						got, cost, err := xb.MVMBatch(ins, nss)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotCost = [2]int64{cost.LatencyPS, int64(cost.EnergyPJ)}
+						if bsz > 0 && gotCost != wantCost {
+							t.Fatalf("per-item batch cost %v != single MVM cost %v", gotCost, wantCost)
+						}
+						if len(got) != bsz {
+							t.Fatalf("batch output count %d != %d", len(got), bsz)
+						}
+						for i := range want {
+							for c := range want[i] {
+								if got[i][c] != want[i][c] {
+									t.Fatalf("functional=%v cell=%d sigma=%g shape=%dx%d batch=%d item %d col %d: batch %v != looped %v",
+										functional, cellBits, sigma, sh.m, sh.n, bsz, i, c, got[i][c], want[i][c])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMVMBatchMatchesNaiveOracle closes the loop to the original naive
+// reference: batched outputs equal naiveMVM per item, noisy keyed
+// included, so the GEMM path inherits the single-kernel oracle pin.
+func TestMVMBatchMatchesNaiveOracle(t *testing.T) {
+	for _, sigma := range []float64{0, 0.02} {
+		cfg := DefaultConfig()
+		cfg.Rows, cfg.Cols = 16, 16
+		cfg.ReadNoise = sigma
+		rng := rand.New(rand.NewSource(5))
+		w := randomMatrix(rng, 16, 16)
+		const bsz = 6
+		ins := batchInputs(rng, bsz, 16)
+
+		xb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := xb.Program(w); err != nil {
+			t.Fatal(err)
+		}
+		var nss []noise.Source
+		if sigma > 0 {
+			nss = perItemSources(noise.NewSource(42), bsz)
+		}
+		got, _, err := xb.MVMBatch(ins, nss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < bsz; i++ {
+			ns := NoNoise
+			if nss != nil {
+				ns = nss[i]
+			}
+			want := naiveMVM(cfg, w, ins[i], ns)
+			for c := range want {
+				if got[i][c] != want[c] {
+					t.Fatalf("sigma=%g item %d col %d: batch %v != naive oracle %v", sigma, i, c, got[i][c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestTileMVMBatchMatchesLoopedMVM: the batched tile dispatch (block ×
+// item-chunk fan-out, derived per-block noise, fixed-order merge) equals
+// looping Tile.MVM per item — including multi-block shapes with ragged
+// remainder blocks — at pool widths 1, 4, and 16.
+func TestTileMVMBatchMatchesLoopedMVM(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWidth(0) })
+	shapes := []struct{ m, n int }{
+		{16, 16}, // single block
+		{40, 23}, // 3x2 grid with ragged remainders
+	}
+	for _, sigma := range []float64{0, 0.02} {
+		for _, sh := range shapes {
+			for _, width := range []int{1, 4, 16} {
+				parallel.SetWidth(width)
+				cfg := DefaultConfig()
+				cfg.Rows, cfg.Cols = 16, 16
+				cfg.ReadNoise = sigma
+				tile, err := NewTile(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(sh.m + sh.n)))
+				if _, err := tile.Program(randomMatrix(rng, sh.m, sh.n)); err != nil {
+					t.Fatal(err)
+				}
+				const bsz = 9
+				ins := batchInputs(rng, bsz, sh.m)
+				var nss []noise.Source
+				if sigma > 0 {
+					nss = perItemSources(noise.NewSource(7), bsz)
+				}
+
+				want := make([][]float64, bsz)
+				var wantCost [2]float64
+				for i := range ins {
+					ns := NoNoise
+					if nss != nil {
+						ns = nss[i]
+					}
+					out, c, err := tile.MVM(ins[i], ns)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[i] = out
+					wantCost = [2]float64{float64(c.LatencyPS), c.EnergyPJ}
+				}
+				got, cost, err := tile.MVMBatch(ins, nss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g := [2]float64{float64(cost.LatencyPS), cost.EnergyPJ}; g != wantCost {
+					t.Fatalf("width=%d: per-item tile batch cost %v != single cost %v", width, g, wantCost)
+				}
+				for i := range want {
+					for c := range want[i] {
+						if got[i][c] != want[i][c] {
+							t.Fatalf("sigma=%g shape=%dx%d width=%d item %d col %d: %v != %v",
+								sigma, sh.m, sh.n, width, i, c, got[i][c], want[i][c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMVMBatchFaultRemappedTile: the batched path runs unmodified over
+// fault-remapped arrays (remaps resolve at Program time into the stored
+// levels), so batch ≡ loop must hold on a tile that has consumed spares.
+func TestMVMBatchFaultRemappedTile(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 16, 16
+	cfg.SpareCols = 4
+	tile, err := NewTile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := faultinject.Model{StuckLowRate: 0.02, StuckHighRate: 0.01}
+	if err := tile.SetFaults(model, noise.NewSource(3)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	if _, err := tile.Program(randomMatrix(rng, 30, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if rep := tile.FaultReport(); rep.StuckCells == 0 {
+		t.Fatal("fault model injected no stuck cells; test is vacuous")
+	}
+	const bsz = 7
+	ins := batchInputs(rng, bsz, 30)
+	want := make([][]float64, bsz)
+	for i := range ins {
+		out, _, err := tile.MVM(ins[i], NoNoise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	got, _, err := tile.MVMBatch(ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for c := range want[i] {
+			if got[i][c] != want[i][c] {
+				t.Fatalf("fault-remapped item %d col %d: batch %v != looped %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestMVMBatchIntoZeroAlloc is the steady-state allocation contract for
+// the batched kernel: after the first call warms the batch pool,
+// MVMBatchInto must not allocate at any batch size.
+func TestMVMBatchIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items, so alloc counts are unreliable")
+	}
+	for _, functional := range []bool{false, true} {
+		for _, bsz := range []int{1, 8, 32} {
+			cfg := DefaultConfig()
+			cfg.Rows, cfg.Cols = 64, 64
+			cfg.Functional = functional
+			xb, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			if _, err := xb.Program(randomMatrix(rng, 64, 64)); err != nil {
+				t.Fatal(err)
+			}
+			ins := batchInputs(rng, bsz, 64)
+			slab := make([]float64, bsz*64)
+			dsts := make([][]float64, bsz)
+			for i := range dsts {
+				dsts[i] = slab[i*64 : (i+1)*64]
+			}
+			if _, err := xb.MVMBatchInto(dsts, ins, nil); err != nil {
+				t.Fatal(err) // warm the pool
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := xb.MVMBatchInto(dsts, ins, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("functional=%v batch=%d: MVMBatchInto allocates %g objects/op, want 0", functional, bsz, allocs)
+			}
+		}
+	}
+}
+
+// TestMVMBatchValidation: every batch-shape and noise precondition fails
+// fast, before scratch acquisition or quantization.
+func TestMVMBatchValidation(t *testing.T) {
+	cfg := smallConfig()
+	xb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := xb.MVMBatch([][]float64{{1, 1}}, nil); err == nil {
+		t.Error("MVMBatch before Program should fail")
+	}
+	if _, err := xb.Program([][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ok := [][]float64{{1, 1}, {0.5, -0.5}}
+	if _, err := xb.MVMBatchInto([][]float64{make([]float64, 2)}, ok, nil); err == nil {
+		t.Error("dst/input count mismatch should fail")
+	}
+	if _, err := xb.MVMBatchInto([][]float64{make([]float64, 3), make([]float64, 2)}, ok, nil); err == nil {
+		t.Error("wrong dst length should fail")
+	}
+	if _, _, err := xb.MVMBatch([][]float64{{1, 1, 1}}, nil); err == nil {
+		t.Error("wrong input length should fail")
+	}
+	if _, _, err := xb.MVMBatch(ok, make([]noise.Source, 1)); err == nil {
+		t.Error("noise source count mismatch should fail")
+	}
+	if _, _, err := xb.MVMBatch([][]float64{{math.NaN(), 1}}, nil); err == nil {
+		t.Error("non-finite input should fail")
+	}
+
+	noisy := smallConfig()
+	noisy.ReadNoise = 0.05
+	xn, err := New(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xn.Program([][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := xn.MVMBatch(ok, nil); err == nil {
+		t.Error("noisy batch without sources should fail")
+	}
+	if _, _, err := xn.MVMBatch(ok, make([]noise.Source, 2)); err == nil {
+		t.Error("noisy batch with invalid (zero) sources should fail")
+	}
+	// Empty batch: a successful no-op even on a noisy config.
+	if _, err := xn.MVMBatchInto(nil, nil, nil); err != nil {
+		t.Errorf("empty batch should succeed, got %v", err)
+	}
+}
+
+// TestScratchReuseAcrossReshapes is the mixed-shape scratch-pool audit
+// regression: one crossbar reprogrammed across different shapes (and one
+// tile reshaped across block grids) must keep handing back correctly
+// sized scratch from its pools — results stay oracle-exact on every
+// interleaving, single-vector and batched, and no stale capacity or
+// length from a larger earlier shape can leak into a smaller one (or
+// vice versa).
+func TestScratchReuseAcrossReshapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 32, 32
+	xb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ m, n int }{{32, 32}, {5, 7}, {32, 32}, {11, 3}}
+	rng := rand.New(rand.NewSource(21))
+	for round, sh := range shapes {
+		w := randomMatrix(rng, sh.m, sh.n)
+		if _, err := xb.Program(w); err != nil {
+			t.Fatal(err)
+		}
+		ins := batchInputs(rng, 4, sh.m)
+		got, _, err := xb.MVMBatch(ins, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ins {
+			single, _, err := xb.MVM(ins[i], NoNoise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveMVM(cfg, w, ins[i], NoNoise)
+			for c := range want {
+				if got[i][c] != want[c] || single[c] != want[c] {
+					t.Fatalf("round %d shape %dx%d item %d col %d: batch %v single %v oracle %v",
+						round, sh.m, sh.n, i, c, got[i][c], single[c], want[c])
+				}
+			}
+		}
+	}
+
+	// Tile reshape: alternate a 1-block and a 2x2-block logical shape so
+	// pooled tile scratch (outs slab, views, costs) crosses grid sizes.
+	tile, err := NewTile(smallTileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, sh := range []struct{ m, n int }{{8, 8}, {30, 30}, {8, 8}} {
+		w := randomMatrix(rng, sh.m, sh.n)
+		if _, err := tile.Program(w); err != nil {
+			t.Fatal(err)
+		}
+		ins := batchInputs(rng, 3, sh.m)
+		got, _, err := tile.MVMBatch(ins, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ins {
+			want, _, err := tile.MVM(ins[i], NoNoise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range want {
+				if got[i][c] != want[c] {
+					t.Fatalf("tile round %d shape %dx%d item %d col %d: %v != %v",
+						round, sh.m, sh.n, i, c, got[i][c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// smallTileConfig returns a 16x16-array tile config for reshape tests.
+func smallTileConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 16, 16
+	return cfg
+}
+
+// TestMVMBatchConcurrent: a programmed crossbar may serve concurrent
+// batched MVMs — the batch pool must hand each goroutine its own arena.
+func TestMVMBatchConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 24, 24
+	xb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	w := randomMatrix(rng, 24, 24)
+	if _, err := xb.Program(w); err != nil {
+		t.Fatal(err)
+	}
+	ins := batchInputs(rng, 6, 24)
+	want, _, err := xb.MVMBatch(ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for k := 0; k < 20; k++ {
+				got, _, err := xb.MVMBatch(ins, nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := range want {
+					for c := range want[i] {
+						if got[i][c] != want[i][c] {
+							errc <- fmt.Errorf("concurrent batch diverged at item %d col %d", i, c)
+							return
+						}
+					}
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -189,6 +189,13 @@ type Crossbar struct {
 	// quantizes in steps of adcStep. Both are fixed at Program time.
 	adcStep, adcMaxSum float64
 
+	// adcLUT[v] = Round(v/adcStep)*adcStep for every integer column sum
+	// v ∈ [0, adcMaxSum]. Noise-free column sums are integers bounded by
+	// adcMaxSum = usedRows·cellMax, so the batch kernels replace the
+	// divide-and-round ADC transfer with one table load — exact, because
+	// each entry is computed with the serial kernels' own expression.
+	adcLUT []float64
+
 	// scaleTab[k] = 2^k, the shift-and-add merge factors, indexed by
 	// inputBit + slice*CellBits.
 	scaleTab []float64
@@ -211,7 +218,14 @@ type Crossbar struct {
 
 	// scratch pools *mvmScratch so concurrent MVMs on one crossbar don't
 	// contend on a shared buffer and steady-state MVMs don't allocate.
-	scratch sync.Pool
+	// batchScratch does the same for the 2-D arenas of the batched kernels
+	// (batch.go). Both pools size buffers against the *current* programmed
+	// shape on every Get — capacity grows monotonically and lengths are
+	// re-sliced per call — so a crossbar reprogrammed across different
+	// shapes can never hand back an undersized scratch from an earlier,
+	// smaller configuration (TestScratchReuseAcrossReshapes pins this).
+	scratch      sync.Pool
+	batchScratch sync.Pool
 }
 
 // New returns an unprogrammed crossbar.
@@ -423,6 +437,18 @@ func (x *Crossbar) program(w [][]float64) (energy.Cost, error) {
 	cellMax := float64(int(1)<<x.cfg.CellBits - 1)
 	x.adcMaxSum = float64(x.usedRows) * cellMax
 	x.adcStep = x.adcMaxSum / float64(int(1)<<x.cfg.ADCBits-1)
+
+	// Tabulate the ADC transfer for every integer column sum. adcMaxSum is
+	// an exact integer (usedRows · cellMax), so the table covers all
+	// noise-free sums; entries reuse the serial kernels' exact expression.
+	if need := int(x.adcMaxSum) + 1; cap(x.adcLUT) < need {
+		x.adcLUT = make([]float64, need)
+	} else {
+		x.adcLUT = x.adcLUT[:need]
+	}
+	for v := range x.adcLUT {
+		x.adcLUT[v] = math.Round(float64(v)/x.adcStep) * x.adcStep
+	}
 
 	x.programmed = true
 

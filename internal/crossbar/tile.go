@@ -45,8 +45,10 @@ type Tile struct {
 	faultSrc noise.Source
 	// scratch pools per-MVM block outputs and costs so steady-state tile
 	// MVMs stop allocating a slab per call. Pooled (not a plain field)
-	// because a programmed tile may serve concurrent MVMs.
-	scratch sync.Pool
+	// because a programmed tile may serve concurrent MVMs. batchScratch
+	// is the same for the batched dispatch path (tile_batch.go).
+	scratch      sync.Pool
+	batchScratch sync.Pool
 }
 
 // tileScratch is the reusable per-MVM workspace for a tile: one output

@@ -1,0 +1,200 @@
+package crossbar
+
+// Batched tile dispatch: Tile.MVMBatch runs a whole micro-batch through
+// the block grid per tile pass. Work fans out over (block × item-chunk)
+// tasks — blocks alone would under-fill the worker pool for small tiles,
+// items alone would re-pay every block's weight-panel traffic per item —
+// and each task calls the crossbar GEMM kernel (MVMBatchInto) on its item
+// panel. Chunking affects only wall-clock locality and parallelism:
+// item i's noise comes from its own derived stream (nss[i].Derive(block)),
+// and block stripes merge in fixed (block, item) order, so outputs are
+// bit-identical to looping Tile.MVM at any pool width and any chunking.
+
+import (
+	"fmt"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/noise"
+	"cimrev/internal/obs"
+	"cimrev/internal/parallel"
+)
+
+// tileBatchScratch is the pooled per-call workspace for a batched tile
+// MVM: the per-(block, item) output slab, per-task costs, and the view /
+// derived-source arenas handed to the crossbar batch kernel. Sized
+// against the current block grid and batch on every use (the same
+// monotonic-capacity audit contract as the crossbar scratch pools).
+type tileBatchScratch struct {
+	outs  []float64
+	costs []energy.Cost
+	dsts  [][]float64
+	ins   [][]float64
+	nss   []noise.Source
+}
+
+// MVMBatch computes y_i = W · input_i for every batch item across the
+// block grid. nss supplies one noise source per item (nil when the
+// configuration is noise-free); block b of item i draws from
+// nss[i].Derive(b), exactly as a lone MVM(input_i, nss[i]) would. The
+// returned cost is the uniform per-item tile MVM cost, matching MVM's
+// accounting; batch-level cost models belong to the caller.
+func (t *Tile) MVMBatch(inputs [][]float64, nss []noise.Source) ([][]float64, energy.Cost, error) {
+	return t.MVMBatchCtx(obs.Ctx{}, inputs, nss)
+}
+
+// MVMBatchCtx is MVMBatch under a trace span: one "tile.mvm_batch" child
+// of pc, annotated with the batch size and recording the serial-equivalent
+// cost (per-item cost × batch), with one "xbar.mvm_batch" grandchild per
+// (block, item-chunk) task. With a zero Ctx the serving hot path stays
+// allocation-free below the (returned) output panel.
+func (t *Tile) MVMBatchCtx(pc obs.Ctx, inputs [][]float64, nss []noise.Source) ([][]float64, energy.Cost, error) {
+	sp := pc.Child("tile.mvm_batch")
+	outs, cost, err := t.mvmBatch(sp, inputs, nss)
+	if sp.Active() {
+		sp.Annotate("batch", float64(len(inputs)))
+	}
+	sp.End(energy.Cost{
+		LatencyPS: cost.LatencyPS * int64(len(inputs)),
+		EnergyPJ:  cost.EnergyPJ * float64(len(inputs)),
+	})
+	return outs, cost, err
+}
+
+func (t *Tile) mvmBatch(sp obs.Ctx, inputs [][]float64, nss []noise.Source) ([][]float64, energy.Cost, error) {
+	if !t.programmed {
+		return nil, energy.Zero, fmt.Errorf("crossbar: tile MVM before Program")
+	}
+	n := len(inputs)
+	if nss != nil && len(nss) != n {
+		return nil, energy.Zero, fmt.Errorf("crossbar: %d noise sources for %d inputs", len(nss), n)
+	}
+	for i, in := range inputs {
+		if len(in) != t.rows {
+			return nil, energy.Zero, fmt.Errorf("crossbar: input %d length %d != rows %d", i, len(in), t.rows)
+		}
+	}
+	if n == 0 {
+		return [][]float64{}, energy.Zero, nil
+	}
+
+	brows, bcols := t.BlockGrid()
+	nb := brows * bcols
+
+	// Split the batch into chunks so (blocks × chunks) covers the worker
+	// pool; at width 1 the whole batch stays in one chunk per block for
+	// maximum weight-panel reuse.
+	chunks := (parallel.Width() + nb - 1) / nb
+	if chunks > n {
+		chunks = n
+	}
+	chunkSz := (n + chunks - 1) / chunks
+	chunks = (n + chunkSz - 1) / chunkSz
+	tasks := nb * chunks
+
+	s := t.getBatchScratch(nb, n, tasks)
+	defer t.batchScratch.Put(s)
+
+	stride := t.cfg.Cols
+	err := parallel.ForErr(tasks, func(tk int) error {
+		b, k := tk/chunks, tk%chunks
+		i0 := k * chunkSz
+		i1 := min(i0+chunkSz, n)
+		if i0 >= i1 {
+			return nil
+		}
+		br, bc := b/bcols, b%bcols
+		r0 := br * t.cfg.Rows
+		r1 := min(r0+t.cfg.Rows, t.rows)
+		c0 := bc * t.cfg.Cols
+		c1 := min(c0+t.cfg.Cols, t.cols)
+		for i := i0; i < i1; i++ {
+			idx := b*n + i
+			s.ins[idx] = inputs[i][r0:r1]
+			s.dsts[idx] = s.outs[idx*stride : idx*stride+(c1-c0)]
+			if nss != nil {
+				s.nss[idx] = NoNoise
+				if nss[i].Valid() {
+					s.nss[idx] = nss[i].Derive(uint64(b))
+				}
+			}
+		}
+		var bnss []noise.Source
+		if nss != nil {
+			bnss = s.nss[b*n+i0 : b*n+i1]
+		}
+		c, err := t.blocks[br][bc].MVMBatchIntoCtx(sp, s.dsts[b*n+i0:b*n+i1], s.ins[b*n+i0:b*n+i1], bnss)
+		if err != nil {
+			return fmt.Errorf("crossbar: block (%d,%d) MVM: %w", br, bc, err)
+		}
+		s.costs[tk] = c
+		return nil
+	})
+	if err != nil {
+		return nil, energy.Zero, err
+	}
+
+	// Per-item cost: fold block costs in fixed order, exactly as mvm does
+	// (chunk 0 of every block is never empty and all chunks report the
+	// same shape-determined cost).
+	cost := energy.Zero
+	for b := 0; b < nb; b++ {
+		cost = cost.Par(s.costs[b*chunks])
+	}
+
+	// Deterministic reduction: digital adds in (block, item) order — per
+	// output element the block stripes accumulate in the same ascending
+	// block order as the single-vector merge.
+	slab := make([]float64, n*t.cols)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = slab[i*t.cols : (i+1)*t.cols]
+	}
+	for b := 0; b < nb; b++ {
+		c0 := (b % bcols) * t.cfg.Cols
+		c1 := min(c0+t.cfg.Cols, t.cols)
+		for i := 0; i < n; i++ {
+			stripe := s.outs[(b*n+i)*stride : (b*n+i)*stride+(c1-c0)]
+			dst := out[i][c0:]
+			for j, v := range stripe {
+				dst[j] += v
+			}
+		}
+	}
+	if brows > 1 {
+		merges := int64(brows-1) * int64(t.cols)
+		cost = cost.Seq(energy.Cost{
+			LatencyPS: energy.EDRAMAccessLatencyPS,
+			EnergyPJ:  float64(merges) * energy.ShiftAddEnergyPJ,
+		})
+	}
+	return out, cost, nil
+}
+
+// getBatchScratch pops (or grows) a pooled batch workspace for nb blocks,
+// n items, and the given task count.
+func (t *Tile) getBatchScratch(nb, n, tasks int) *tileBatchScratch {
+	s, _ := t.batchScratch.Get().(*tileBatchScratch)
+	if s == nil {
+		s = &tileBatchScratch{}
+	}
+	if need := nb * n * t.cfg.Cols; cap(s.outs) < need {
+		s.outs = make([]float64, need)
+	} else {
+		s.outs = s.outs[:need]
+	}
+	if cap(s.costs) < tasks {
+		s.costs = make([]energy.Cost, tasks)
+	} else {
+		s.costs = s.costs[:tasks]
+	}
+	if need := nb * n; cap(s.dsts) < need {
+		s.dsts = make([][]float64, need)
+		s.ins = make([][]float64, need)
+		s.nss = make([]noise.Source, need)
+	} else {
+		s.dsts = s.dsts[:need]
+		s.ins = s.ins[:need]
+		s.nss = s.nss[:need]
+	}
+	return s
+}

@@ -465,20 +465,24 @@ func (e *Engine) runDigital(layer nn.Layer, in []float64) ([]float64, energy.Cos
 // Energy is n x per-inference energy. This is the ISAAC-style throughput
 // mode behind the Section VI claims.
 //
-// The simulator fans independent batch items across the worker pool:
-// programmed tiles are read-only during MVM, so items share them safely.
-// Analog read noise fans out too: the batch claims a contiguous run of
-// noise sequence numbers up front, and item i draws from the counter-based
-// stream for number seq0+i regardless of which worker runs it — so noisy
-// outputs match the same inputs run through Infer one at a time, and the
-// outputs and returned cost are bit-identical at any pool width.
+// The simulator runs the batch stage-major: every item advances through a
+// stage together, and dense (and conv, per patch position) stages hand
+// the tile the whole item panel in one batched GEMM call, streaming each
+// weight panel once per batch instead of once per item. Analog read noise
+// stays per item: the batch claims a contiguous run of noise sequence
+// numbers up front, and item i draws from the counter-based stream for
+// number seq0+i regardless of batching — so noisy outputs match the same
+// inputs run through Infer one at a time, and the outputs and returned
+// cost are bit-identical at any batch size and worker-pool width.
 func (e *Engine) InferBatch(inputs [][]float64) ([][]float64, energy.Cost, error) {
 	return e.InferBatchCtx(obs.Ctx{}, inputs)
 }
 
 // InferBatchCtx is InferBatch with tracing: a "dpe.infer_batch" span
-// (annotated with the batch size) whose children are per-item "dpe.infer"
-// spans. The batch span's cost is the pipelined batch cost — fill +
+// (annotated with the batch size) with one per-stage child ("dpe.dense" /
+// "dpe.conv" / "dpe.digital") carrying that stage's serial-equivalent
+// cost (per-item × batch) and wrapping the tile.mvm_batch spans beneath
+// it. The batch span's cost is the pipelined batch cost — fill +
 // (n-1)×bottleneck — which is deliberately *less* than the sum of its
 // children's serial costs; attribution reports both, and the self column
 // clamps at zero.
@@ -522,9 +526,16 @@ func (e *Engine) InferBatchKeyedCtx(pc obs.Ctx, seqs []uint64, inputs [][]float6
 	return outs, cost, err
 }
 
-// inferBatch runs the batch. With seqs == nil, items claim a contiguous run
-// of the engine's inference counter (seq0+i); with seqs != nil, item i uses
-// the caller-supplied key seqs[i] and the counter does not advance.
+// inferBatch runs the batch stage-major: every item advances through
+// stage s together, so dense (and conv, per patch position) stages hand
+// the tile the whole item panel in one MVMBatchCtx call — the GEMM path
+// that streams each weight panel once per batch instead of once per item.
+// With seqs == nil, items claim a contiguous run of the engine's
+// inference counter (seq0+i); with seqs != nil, item i uses the
+// caller-supplied key seqs[i] and the counter does not advance. Either
+// way item i's stage-s draws come from src.Derive(key_i).Derive(s) — the
+// exact streams the item-major loop used — so outputs stay bit-identical
+// to running the items through Infer one at a time.
 func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64, seqs []uint64) ([][]float64, energy.Cost, error) {
 	if e.net == nil {
 		return nil, energy.Zero, fmt.Errorf("dpe: InferBatch before Load")
@@ -538,46 +549,158 @@ func (e *Engine) inferBatch(sp obs.Ctx, inputs [][]float64, seqs []uint64) ([][]
 		}
 	}
 
+	n := len(inputs)
 	var seq0 uint64
 	if seqs == nil {
-		seq0 = e.seq.Add(uint64(len(inputs))) - uint64(len(inputs))
+		seq0 = e.seq.Add(uint64(n)) - uint64(n)
 	}
-	outs := make([][]float64, len(inputs))
-	totals := make([]energy.Cost, len(inputs))
-	stageMaxes := make([]int64, len(inputs))
-	if err := parallel.ForErr(len(inputs), func(i int) error {
+	perInf := make([]noise.Source, n)
+	for i := range perInf {
 		key := seq0 + uint64(i)
 		if seqs != nil {
 			key = seqs[i]
 		}
-		perInf := e.src.Derive(key)
-		item := sp.Child("dpe.infer")
-		v := inputs[i]
-		var stageMax int64
-		total := energy.Zero
-		for s := range e.stages {
-			out, cost, err := e.runStage(item, &e.stages[s], v, perInf.Derive(uint64(s)))
-			if err != nil {
-				item.End(energy.Zero)
-				return fmt.Errorf("dpe: batch %d stage %d: %w", i, s, err)
-			}
-			total = total.Seq(cost)
-			if cost.LatencyPS > stageMax {
-				stageMax = cost.LatencyPS
-			}
-			v = out
-		}
-		item.End(total)
-		outs[i], totals[i], stageMaxes[i] = v, total, stageMax
-		e.inferences.Add(1)
-		return nil
-	}); err != nil {
-		return nil, energy.Zero, err
+		perInf[i] = e.src.Derive(key)
 	}
 
+	vs := make([][]float64, n)
+	copy(vs, inputs)
+	nss := make([]noise.Source, n)
+	// Stage costs are uniform across items (every item runs the same
+	// arrays), so one per-item total and the bottleneck stage suffice for
+	// the pipelined batch cost.
+	total := energy.Zero
+	var stageMax int64
+	for s := range e.stages {
+		for i := range nss {
+			nss[i] = perInf[i].Derive(uint64(s))
+		}
+		outs, cost, err := e.runStageBatch(sp, &e.stages[s], vs, nss)
+		if err != nil {
+			return nil, energy.Zero, fmt.Errorf("dpe: stage %d (%s): %w", s, e.stages[s].layer.Name(), err)
+		}
+		total = total.Seq(cost)
+		if cost.LatencyPS > stageMax {
+			stageMax = cost.LatencyPS
+		}
+		vs = outs
+	}
+	e.inferences.Add(int64(n))
+
 	cost := energy.Cost{
-		LatencyPS: totals[0].LatencyPS + int64(len(inputs)-1)*stageMaxes[0],
-		EnergyPJ:  totals[0].EnergyPJ * float64(len(inputs)),
+		LatencyPS: total.LatencyPS + int64(n-1)*stageMax,
+		EnergyPJ:  total.EnergyPJ * float64(n),
+	}
+	return vs, cost, nil
+}
+
+// runStageBatch executes one stage for the whole batch. nss[i] is item
+// i's derived stage stream (src.Derive(key_i).Derive(stageIndex)) — the
+// same derivation runStage hands a lone inference, so every analog draw
+// keeps its unique position-keyed counter. Each stage opens one span for
+// the batch carrying the serial-equivalent cost (per-item × batch); the
+// returned cost is the uniform per-item stage cost.
+func (e *Engine) runStageBatch(pc obs.Ctx, s *stage, ins [][]float64, nss []noise.Source) ([][]float64, energy.Cost, error) {
+	n := len(ins)
+	switch {
+	case s.dense != nil:
+		sp := pc.Child("dpe.dense")
+		outs, cost, err := s.tile.MVMBatchCtx(sp, ins, nss)
+		if err != nil {
+			sp.End(energy.Zero)
+			return nil, energy.Zero, err
+		}
+		for _, out := range outs {
+			for o := range out {
+				out[o] += s.dense.B[o]
+			}
+		}
+		// Bias adds ride the existing shift-add hardware.
+		cost = cost.Seq(energy.Cost{EnergyPJ: float64(len(outs[0])) * energy.ShiftAddEnergyPJ})
+		sp.End(energy.Cost{
+			LatencyPS: cost.LatencyPS * int64(n),
+			EnergyPJ:  cost.EnergyPJ * float64(n),
+		})
+		return outs, cost, nil
+	case s.conv != nil:
+		sp := pc.Child("dpe.conv")
+		outs, cost, err := e.runConvBatch(sp, s, ins, nss)
+		if sp.Active() && err == nil {
+			sp.Annotate("patches", float64(s.conv.OutH()*s.conv.OutW()))
+			sp.Annotate("batch", float64(n))
+		}
+		sp.End(energy.Cost{
+			LatencyPS: cost.LatencyPS * int64(n),
+			EnergyPJ:  cost.EnergyPJ * float64(n),
+		})
+		return outs, cost, err
+	default:
+		sp := pc.Child("dpe.digital")
+		outs := make([][]float64, n)
+		var cost energy.Cost
+		for i := range ins {
+			out, c, err := e.runDigital(s.layer, ins[i])
+			if err != nil {
+				sp.End(energy.Zero)
+				return nil, energy.Zero, err
+			}
+			outs[i], cost = out, c
+		}
+		sp.End(energy.Cost{
+			LatencyPS: cost.LatencyPS * int64(n),
+			EnergyPJ:  cost.EnergyPJ * float64(n),
+		})
+		return outs, cost, nil
+	}
+}
+
+// runConvBatch streams im2col patches through the filter crossbar for the
+// whole batch, one batched tile MVM per patch position: the filter panel
+// is streamed once per batch per position instead of once per item. Patch
+// (oy, ox) of item i draws noise from nss[i].Derive(oy*outW+ox) — the
+// derivation runConv uses — independent of streaming order. Replica
+// accounting is unchanged: per item, latency covers ceil(patches/
+// replicas) waves and energy covers every patch.
+func (e *Engine) runConvBatch(pc obs.Ctx, s *stage, ins [][]float64, nss []noise.Source) ([][]float64, energy.Cost, error) {
+	l := s.conv
+	oh, ow := l.OutH(), l.OutW()
+	n := len(ins)
+	outs := make([][]float64, n)
+	slab := make([]float64, n*oh*ow*l.F)
+	for i := range outs {
+		outs[i] = slab[i*oh*ow*l.F : (i+1)*oh*ow*l.F]
+	}
+	patches := oh * ow
+	patchIns := make([][]float64, n)
+	patchNss := make([]noise.Source, n)
+	var patchCost energy.Cost
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			p := oy*ow + ox
+			for i := range ins {
+				patch, err := l.Patch(ins[i], oy, ox)
+				if err != nil {
+					return nil, energy.Zero, err
+				}
+				patchIns[i] = patch
+				patchNss[i] = nss[i].Derive(uint64(p))
+			}
+			ys, cost, err := s.tile.MVMBatchCtx(pc, patchIns, patchNss)
+			if err != nil {
+				return nil, energy.Zero, err
+			}
+			patchCost = cost // uniform across patches
+			for i := range ins {
+				for f := 0; f < l.F; f++ {
+					outs[i][p*l.F+f] = ys[i][f] + l.B[f]
+				}
+			}
+		}
+	}
+	waves := (patches + e.cfg.ConvReplicas - 1) / e.cfg.ConvReplicas
+	cost := energy.Cost{
+		LatencyPS: patchCost.LatencyPS * int64(waves),
+		EnergyPJ:  patchCost.EnergyPJ * float64(patches),
 	}
 	return outs, cost, nil
 }

@@ -100,9 +100,9 @@ func TestTraceBitIdenticalAcrossWidths(t *testing.T) {
 }
 
 // TestTraceSpanTree pins the shape of the engine's span tree: one
-// dpe.infer_batch span with one dpe.infer child per batch item, each
-// wrapping per-stage spans whose descendants reach the crossbar layer —
-// and every child well-nested under its parent.
+// dpe.infer_batch span with one per-stage child (the batch runs
+// stage-major), each wrapping batched MVM spans whose descendants reach
+// the crossbar layer — and every child well-nested under its parent.
 func TestTraceSpanTree(t *testing.T) {
 	net := mlp(t, 32, 24, 10)
 	eng, err := New(testConfig())
@@ -141,17 +141,19 @@ func TestTraceSpanTree(t *testing.T) {
 	if count["dpe.infer_batch"] != 1 {
 		t.Errorf("dpe.infer_batch spans = %d, want 1", count["dpe.infer_batch"])
 	}
-	if count["dpe.infer"] != batch {
-		t.Errorf("dpe.infer spans = %d, want %d", count["dpe.infer"], batch)
+	// Stage-major batching: one stage span per stage for the whole batch,
+	// not one per item — there are no per-item dpe.infer children.
+	if count["dpe.infer"] != 0 {
+		t.Errorf("dpe.infer spans = %d, want 0 (stage-major batch)", count["dpe.infer"])
 	}
-	// Two dense stages per inference, each with an MVM reaching the tile
-	// and crossbar layers.
-	if count["dpe.dense"] != 2*batch {
-		t.Errorf("dpe.dense spans = %d, want %d", count["dpe.dense"], 2*batch)
+	// Two dense stages, each with one batched MVM reaching the tile and
+	// crossbar layers.
+	if count["dpe.dense"] != 2 {
+		t.Errorf("dpe.dense spans = %d, want 2", count["dpe.dense"])
 	}
-	if count["tile.mvm"] != 2*batch || count["xbar.mvm"] == 0 {
-		t.Errorf("MVM spans: tile=%d (want %d) xbar=%d (want >0)",
-			count["tile.mvm"], 2*batch, count["xbar.mvm"])
+	if count["tile.mvm_batch"] != 2 || count["xbar.mvm_batch"] == 0 {
+		t.Errorf("MVM spans: tile.mvm_batch=%d (want 2) xbar.mvm_batch=%d (want >0)",
+			count["tile.mvm_batch"], count["xbar.mvm_batch"])
 	}
 	// Structural well-formedness: every parent exists, children nest.
 	for _, s := range spans {
