@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet bench-hybrid cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -51,6 +51,10 @@ test:
 # pins the GEMM batching path (docs/PERF.md): batch-vs-looped bit-identity
 # across functional, bit-serial, noisy keyed/unkeyed, and fault-remapped
 # kernels, mixed-shape scratch-pool reuse, and concurrent batched MVMs.
+# The eighth pins the hybrid dispatch layer (docs/HYBRID.md): Von Neumann
+# twin bit-identity at pool widths 1/4/16, calibrator decision-sequence
+# determinism, route invariance through the dispatcher and the serving
+# pipeline, and reprogram suspension of the twin.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -75,6 +79,9 @@ race:
 	$(GO) test -race -count=1 \
 		-run 'MVMBatch|InferBatch|ScratchReuse' \
 		./internal/crossbar/ ./internal/dpe/
+	$(GO) test -race -count=1 \
+		-run 'Hybrid|Dispatch|Calibrator|Twin' \
+		./internal/hybrid/ ./internal/vonneumann/ ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -83,8 +90,9 @@ bench:
 # BenchmarkCrossbarMVM sweep plus the batched BenchmarkCrossbarMVMBatch
 # GEMM sweep (batch 1/8/32/128 x 64..512, with each result's interleaved
 # looped-baseline speedup metric), converted to BENCH_mvm.json. Also runs
-# the serving-pipeline benchmark so BENCH_serve.json stays in step.
-bench-json: bench-serve bench-mvm
+# the serving-pipeline benchmark so BENCH_serve.json stays in step, and
+# the hybrid dispatch sweep so BENCH_hybrid.json does too.
+bench-json: bench-serve bench-mvm bench-hybrid
 
 # The MVM sweeps alone, with the GEMM regression gate: fails unless every
 # deterministic batch >= 8 result on an ISAAC-scale panel (>= 256) beats
@@ -134,6 +142,18 @@ bench-fleet:
 	$(GO) run ./cmd/cimbench -exp fleet -format bench \
 		| $(GO) run ./cmd/benchjson -out BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# Hybrid dispatch artifact (docs/HYBRID.md): the CIM-vs-CPU crossover
+# grid (layer size x batch, per-item simulated latency on the crossbar vs
+# the executing Von Neumann twin) plus the mixed-workload comparison of
+# forced-cim / forced-vn / auto dispatch. The -gate-hybrid check fails
+# unless the sweep measures a real crossover (cells on both sides of
+# speedup 1) and auto throughput at least matches the best single
+# backend. Everything is simulated cost, so the gate is deterministic.
+bench-hybrid:
+	$(GO) run ./cmd/cimbench -exp hybrid -format bench \
+		| $(GO) run ./cmd/benchjson -gate-hybrid -out BENCH_hybrid.json
+	@echo wrote BENCH_hybrid.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

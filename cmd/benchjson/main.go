@@ -61,6 +61,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	gateBatch := flag.Float64("gate-batch-speedup", 0,
 		"fail unless every deterministic BenchmarkCrossbarMVMBatch result at batch >= 8 reports a speedup metric at least this large (0 disables)")
+	gateHybrid := flag.Bool("gate-hybrid", false,
+		"fail unless the hybrid sweep shows a measured crossover and auto dispatch at least matches the best single backend")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -98,6 +100,11 @@ func main() {
 	// on disk, so the offending numbers can be inspected.
 	if *gateBatch > 0 {
 		if err := GateBatchSpeedup(doc, *gateBatch); err != nil {
+			fatal(err)
+		}
+	}
+	if *gateHybrid {
+		if err := GateHybrid(doc); err != nil {
 			fatal(err)
 		}
 	}
@@ -153,6 +160,66 @@ func GateBatchSpeedup(doc *Document, minRatio float64) error {
 	}
 	if checked == 0 {
 		return fmt.Errorf("gate-batch-speedup: no deterministic batch >= 8 results to check")
+	}
+	return nil
+}
+
+// GateHybrid enforces the hybrid-dispatch acceptance criteria on a
+// cimbench -exp hybrid sweep (make bench-hybrid). Two things must hold:
+//
+//   - The crossover is measured, not asserted: among the
+//     BenchmarkHybridSweep cells there is at least one with speedup_cim
+//     below 1 (the Von Neumann twin wins) and at least one above 1 (the
+//     crossbar wins). A grid that lands entirely on one side means the
+//     dispatch decision is degenerate and the sweep proves nothing.
+//   - Auto dispatch pays for itself: the BenchmarkHybridMixed rows for
+//     all three modes are present with sim_req_per_s, and auto's
+//     throughput is at least the best single backend's.
+//
+// Missing rows or metrics are errors — the gate must not pass vacuously.
+func GateHybrid(doc *Document) error {
+	var below, above int
+	for _, res := range doc.Results {
+		if !strings.HasPrefix(res.Name, "BenchmarkHybridSweep/") {
+			continue
+		}
+		sp, ok := res.Extra["speedup_cim"]
+		if !ok {
+			return fmt.Errorf("gate-hybrid: %s has no speedup_cim metric", res.Name)
+		}
+		if sp < 1 {
+			below++
+		}
+		if sp > 1 {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		return fmt.Errorf("gate-hybrid: no measured crossover (%d cells favor VN, %d favor CIM; need both)", below, above)
+	}
+	mixed := map[string]float64{}
+	for _, res := range doc.Results {
+		mode, ok := strings.CutPrefix(res.Name, "BenchmarkHybridMixed/dispatch=")
+		if !ok {
+			continue
+		}
+		rps, ok := res.Extra["sim_req_per_s"]
+		if !ok {
+			return fmt.Errorf("gate-hybrid: %s has no sim_req_per_s metric", res.Name)
+		}
+		mixed[mode] = rps
+	}
+	for _, mode := range []string{"cim", "vn", "auto"} {
+		if _, ok := mixed[mode]; !ok {
+			return fmt.Errorf("gate-hybrid: missing BenchmarkHybridMixed/dispatch=%s result", mode)
+		}
+	}
+	best := mixed["cim"]
+	if mixed["vn"] > best {
+		best = mixed["vn"]
+	}
+	if mixed["auto"] < best {
+		return fmt.Errorf("gate-hybrid: auto dispatch %.0f req/s lost to best single backend %.0f req/s", mixed["auto"], best)
 	}
 	return nil
 }

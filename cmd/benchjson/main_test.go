@@ -134,3 +134,70 @@ func TestGateBatchSpeedup(t *testing.T) {
 		t.Error("gate passed vacuously with no eligible batch results")
 	}
 }
+
+// hybridDoc builds a Document of hybrid sweep/mixed rows: sweep maps cell
+// name -> speedup_cim, mixed maps dispatch mode -> sim_req_per_s. A
+// negative value omits the metric to exercise the vacuous-pass errors.
+func hybridDoc(sweep map[string]float64, mixed map[string]float64) *Document {
+	doc := &Document{}
+	for name, sp := range sweep {
+		res := Result{Name: name, Iterations: 1}
+		if sp >= 0 {
+			res.Extra = map[string]float64{"speedup_cim": sp}
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	for mode, rps := range mixed {
+		res := Result{Name: "BenchmarkHybridMixed/dispatch=" + mode, Iterations: 1}
+		if rps >= 0 {
+			res.Extra = map[string]float64{"sim_req_per_s": rps}
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	return doc
+}
+
+// TestGateHybrid pins the `make bench-hybrid` acceptance gate: the sweep
+// must show cells on both sides of the crossover, all three mixed rows
+// must be present with throughput metrics, and auto must at least match
+// the best single backend. Missing rows or metrics fail rather than pass
+// vacuously.
+func TestGateHybrid(t *testing.T) {
+	sweep := map[string]float64{
+		"BenchmarkHybridSweep/size=16/batch=1":   0.01,
+		"BenchmarkHybridSweep/size=512/batch=64": 2.5,
+	}
+	ok := hybridDoc(sweep, map[string]float64{"cim": 1000, "vn": 5000, "auto": 6000})
+	if err := GateHybrid(ok); err != nil {
+		t.Errorf("passing sweep gated: %v", err)
+	}
+	tie := hybridDoc(sweep, map[string]float64{"cim": 1000, "vn": 5000, "auto": 5000})
+	if err := GateHybrid(tie); err != nil {
+		t.Errorf("auto == best single backend gated: %v", err)
+	}
+	lost := hybridDoc(sweep, map[string]float64{"cim": 1000, "vn": 5000, "auto": 4999})
+	if err := GateHybrid(lost); err == nil {
+		t.Error("auto losing to the best single backend passed")
+	}
+	oneSided := hybridDoc(map[string]float64{
+		"BenchmarkHybridSweep/size=256/batch=8":  3.0,
+		"BenchmarkHybridSweep/size=512/batch=64": 2.5,
+	}, map[string]float64{"cim": 1000, "vn": 500, "auto": 1000})
+	if err := GateHybrid(oneSided); err == nil {
+		t.Error("one-sided sweep (no crossover) passed")
+	}
+	missingMode := hybridDoc(sweep, map[string]float64{"cim": 1000, "auto": 5000})
+	if err := GateHybrid(missingMode); err == nil {
+		t.Error("missing vn row passed")
+	}
+	missingMetric := hybridDoc(sweep, map[string]float64{"cim": 1000, "vn": -1, "auto": 5000})
+	if err := GateHybrid(missingMetric); err == nil {
+		t.Error("mixed row without sim_req_per_s passed")
+	}
+	noMetricCell := hybridDoc(map[string]float64{
+		"BenchmarkHybridSweep/size=16/batch=1": -1,
+	}, map[string]float64{"cim": 1000, "vn": 5000, "auto": 5000})
+	if err := GateHybrid(noMetricCell); err == nil {
+		t.Error("sweep cell without speedup_cim passed")
+	}
+}

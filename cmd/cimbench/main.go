@@ -19,6 +19,9 @@
 //	                          # cluster-scale serving sweep: routing policy x
 //	                          # fleet size, rolling reprogram mid-run
 //	                          # (make bench-fleet)
+//	cimbench -exp hybrid -format bench
+//	                          # CIM-vs-CPU crossover sweep + mixed-workload
+//	                          # dispatch comparison (make bench-hybrid)
 //	cimbench -trace out.json  # run the traced reference workload and write
 //	                          # a Chrome trace_event file (chrome://tracing,
 //	                          # ui.perfetto.dev)
@@ -50,7 +53,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs, fleet")
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
 	engines := flag.String("engines", "1,2,4,8", "comma-separated fleet sizes for the fleet serving sweep")
@@ -129,6 +132,11 @@ type benchFleet struct{ res *experiments.FleetResult }
 
 func (b benchFleet) Format() string { return b.res.BenchFormat() }
 
+// benchHybrid does the same for the hybrid dispatch crossover sweep.
+type benchHybrid struct{ res *experiments.HybridResult }
+
+func (b benchHybrid) Format() string { return b.res.BenchFormat() }
+
 func run(exp, sizeList, boardList, engineList, format string) error {
 	sizes, err := parseInts(sizeList)
 	if err != nil {
@@ -145,8 +153,8 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 	if format != "text" && format != "bench" {
 		return fmt.Errorf("unknown format %q (want text or bench)", format)
 	}
-	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" {
-		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, or -exp fleet")
+	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" && exp != "hybrid" {
+		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, -exp fleet, or -exp hybrid")
 	}
 
 	// The canonical experiment order. Each job is independent, so selected
@@ -189,6 +197,20 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 			}
 			return res, nil
 		}},
+		{"hybrid", func() (formatter, error) {
+			res, err := experiments.HybridSweep(
+				[]int{16, 32, 64, 128, 256, 512},
+				[]int{1, 8, 64},
+				24,
+			)
+			if err != nil {
+				return nil, err
+			}
+			if format == "bench" {
+				return benchHybrid{res}, nil
+			}
+			return res, nil
+		}},
 		{"fleet", func() (formatter, error) {
 			res, err := experiments.FleetSweep(engines, fleet.PolicyNames(), 32, 2000)
 			if err != nil {
@@ -216,7 +238,7 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, obs, fleet)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet)", exp)
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {

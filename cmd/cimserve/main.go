@@ -36,6 +36,14 @@
 // and -reprogram > 0 exercises shadow-engine weight swaps mid-run to show
 // they cost the serving path nothing.
 //
+// -dispatch selects the serving backend policy (internal/hybrid,
+// docs/HYBRID.md): cim (default) serves every flush from the crossbar
+// path, vn serves from the executing Von Neumann twin (bit-identical on
+// deterministic configs), and auto routes each flush by the calibrated
+// cost model, pinning keyed/noisy traffic to CIM. Non-default modes add
+// dispatch_cim / dispatch_vn / dispatch_pinned_noisy to the bench line,
+// and the dispatch.* counters appear on /metrics.
+//
 // Errors in batch mode are broken out by cause so the benchjson archive
 // distinguishes capacity problems from health problems (docs/FAULTS.md):
 // shed counts backpressure rejections (ErrOverloaded), unhealthy counts
@@ -64,9 +72,11 @@ import (
 	"cimrev/internal/dpe"
 	"cimrev/internal/faultinject"
 	"cimrev/internal/fleet"
+	"cimrev/internal/hybrid"
 	"cimrev/internal/metrics"
 	"cimrev/internal/nn"
 	"cimrev/internal/serve"
+	"cimrev/internal/vonneumann"
 )
 
 // options is the validated CLI configuration.
@@ -85,6 +95,7 @@ type options struct {
 	listen    string
 	engines   int
 	policy    string
+	dispatch  string
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -134,6 +145,9 @@ func (o options) validate() error {
 	if _, err := fleet.ParsePolicy(o.policy); err != nil {
 		return fmt.Errorf("cimserve: -policy: %w", err)
 	}
+	if _, err := hybrid.ParseMode(o.dispatch); err != nil {
+		return fmt.Errorf("cimserve: -dispatch: %w", err)
+	}
 	return nil
 }
 
@@ -153,6 +167,12 @@ type runStats struct {
 	unhealthy       int64
 	reprogramFailed int64
 	retries         int64
+
+	// Hybrid dispatch breakdown: requests routed to the crossbar, to the
+	// Von Neumann twin, and pinned to the crossbar for noise reasons.
+	dispCIM    int64
+	dispVN     int64
+	dispPinned int64
 }
 
 func (s runStats) wallReqPerSec() float64 {
@@ -186,6 +206,7 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "address for the live telemetry endpoint (/metrics, /healthz, /debug/pprof); empty disables")
 	flag.IntVar(&o.engines, "engines", 1, "fleet size: engines behind the request router (1 = single-engine batch mode)")
 	flag.StringVar(&o.policy, "policy", "round-robin", "fleet routing policy: round-robin, least-loaded, weighted, wear-aware")
+	flag.StringVar(&o.dispatch, "dispatch", "cim", "backend dispatch policy: cim (crossbar only), vn (Von Neumann twin only), auto (cost-model routing)")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -282,6 +303,12 @@ func run(w io.Writer, o options) error {
 			"reprogram_retries": float64(batch.retries),
 		}
 		order := []string{"avg_batch", "swaps", "shed", "unhealthy", "reprogram_failed", "reprogram_retries"}
+		if o.dispatch != "cim" {
+			extra["dispatch_cim"] = float64(batch.dispCIM)
+			extra["dispatch_vn"] = float64(batch.dispVN)
+			extra["dispatch_pinned_noisy"] = float64(batch.dispPinned)
+			order = append(order, "dispatch_cim", "dispatch_vn", "dispatch_pinned_noisy")
+		}
 		if o.mode == "both" {
 			if batch.simPS > 0 {
 				extra["sim_speedup"] = float64(serial.simPS) / float64(batch.simPS)
@@ -390,7 +417,27 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 	if err != nil {
 		return runStats{}, err
 	}
-	srv, err := serve.New(brk,
+	// The hybrid dispatcher sits between the micro-batcher and the breaker:
+	// it routes each flush to the crossbar path or to the executing Von
+	// Neumann twin (bit-identical on deterministic configs) per -dispatch.
+	// Faulty deployments have no twin; auto mode then pins everything to
+	// CIM, and vn mode is rejected by hybrid.New.
+	dmode, err := hybrid.ParseMode(o.dispatch)
+	if err != nil {
+		return runStats{}, err
+	}
+	var twin *vonneumann.Backend
+	if !cfg.Faults.Enabled() && cfg.Crossbar.ReadNoise == 0 {
+		twin, err = vonneumann.NewBackend(vonneumann.CPU(), vonneumann.DefaultHierarchy(), cfg.Crossbar, net)
+		if err != nil {
+			return runStats{}, err
+		}
+	}
+	disp, err := hybrid.New(brk, twin, hybrid.WithMode(dmode), hybrid.WithRegistry(reg))
+	if err != nil {
+		return runStats{}, err
+	}
+	srv, err := serve.New(disp,
 		serve.WithBatch(o.batch, o.deadline),
 		serve.WithQueueBound(o.queue),
 		serve.WithRegistry(reg),
@@ -460,7 +507,9 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 			if k%2 == 1 {
 				target = net
 			}
-			if _, _, err := brk.Reprogram(target); err != nil {
+			// Reprogram through the dispatcher so the twin requantizes in
+			// the same swap and never serves stale weights.
+			if _, _, err := disp.Reprogram(target); err != nil {
 				reprogramFailed.Add(1)
 			}
 		}
@@ -485,6 +534,9 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		unhealthy:       unhealthy.Load(),
 		reprogramFailed: reprogramFailed.Load(),
 		retries:         snap.Counters["serve.reprogram_retries"],
+		dispCIM:         snap.Counters["dispatch.cim"],
+		dispVN:          snap.Counters["dispatch.vn"],
+		dispPinned:      snap.Counters["dispatch.pinned_noisy"],
 	}
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
 	return st, nil
@@ -501,7 +553,11 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 	if err != nil {
 		return runStats{}, err
 	}
-	f, _, err := fleet.New(cfg, net,
+	dmode, err := hybrid.ParseMode(o.dispatch)
+	if err != nil {
+		return runStats{}, err
+	}
+	fopts := []fleet.Option{
 		fleet.WithEngines(o.engines),
 		fleet.WithPolicy(policy),
 		fleet.WithServeOptions(
@@ -509,9 +565,42 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 			serve.WithQueueBound(o.queue),
 			serve.WithRetry(3, time.Millisecond, 50*time.Millisecond),
 		),
-	)
+	}
+	// Non-default dispatch wraps every engine's breaker in its own hybrid
+	// dispatcher with a per-engine twin, so the dispatch.* counters land in
+	// each engine's registry. Fleet traffic is all keyed, which auto mode
+	// pins to CIM — the counters make that observable per engine.
+	var wrapErr error
+	if dmode != hybrid.ModeCIM {
+		fopts = append(fopts, fleet.WithWrapBackend(func(id int, b serve.Backend, reg *metrics.Registry) serve.Backend {
+			cb, ok := b.(hybrid.CIMBackend)
+			if !ok {
+				return b
+			}
+			var twin *vonneumann.Backend
+			if !cfg.Faults.Enabled() && cfg.Crossbar.ReadNoise == 0 {
+				tw, err := vonneumann.NewBackend(vonneumann.CPU(), vonneumann.DefaultHierarchy(), cfg.Crossbar, net)
+				if err != nil {
+					wrapErr = fmt.Errorf("engine %d twin: %w", id, err)
+					return b
+				}
+				twin = tw
+			}
+			d, err := hybrid.New(cb, twin, hybrid.WithMode(dmode), hybrid.WithRegistry(reg))
+			if err != nil {
+				wrapErr = fmt.Errorf("engine %d dispatcher: %w", id, err)
+				return b
+			}
+			return d
+		}))
+	}
+	f, _, err := fleet.New(cfg, net, fopts...)
 	if err != nil {
 		return runStats{}, err
+	}
+	if wrapErr != nil {
+		f.Close()
+		return runStats{}, wrapErr
 	}
 	defer f.Close()
 	if tel != nil {
@@ -594,6 +683,9 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		st.swaps += e.Pair().Swaps()
 		snap := e.Registry().Snapshot()
 		st.retries += snap.Counters["serve.reprogram_retries"]
+		st.dispCIM += snap.Counters["dispatch.cim"]
+		st.dispVN += snap.Counters["dispatch.vn"]
+		st.dispPinned += snap.Counters["dispatch.pinned_noisy"]
 		if h, ok := snap.Histograms["serve.batch_size"]; ok {
 			batchCount += float64(h.Count)
 			batchSum += h.Sum
@@ -636,6 +728,10 @@ func summary(w io.Writer, o options, serial, batch runStats) {
 			batch.avgBatch, batch.swaps)
 		fmt.Fprintf(w, "  errors: shed %d   unhealthy %d   reprogram failed %d (retries %d)\n",
 			batch.shed, batch.unhealthy, batch.reprogramFailed, batch.retries)
+		if o.dispatch != "cim" {
+			fmt.Fprintf(w, "  dispatch (%s): cim %d   vn %d   pinned %d\n",
+				o.dispatch, batch.dispCIM, batch.dispVN, batch.dispPinned)
+		}
 	}
 	if serial.requests > 0 && batch.simPS > 0 {
 		fmt.Fprintf(w, "  simulated speedup: %.2fx   wall speedup: %.2fx\n",

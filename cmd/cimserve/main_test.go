@@ -26,7 +26,7 @@ func TestParseLayers(t *testing.T) {
 
 func TestOptionsValidate(t *testing.T) {
 	good := options{clients: 4, requests: 8, batch: 2, deadline: time.Millisecond,
-		queue: 16, mode: "both", layers: []int{16, 8}, engines: 1, policy: "round-robin"}
+		queue: 16, mode: "both", layers: []int{16, 8}, engines: 1, policy: "round-robin", dispatch: "cim"}
 	if err := good.validate(); err != nil {
 		t.Fatalf("good options rejected: %v", err)
 	}
@@ -44,6 +44,7 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *options) { o.spares = -1 },
 		func(o *options) { o.engines = 0 },
 		func(o *options) { o.policy = "random" },
+		func(o *options) { o.dispatch = "gpu" },
 	}
 	for i, m := range mut {
 		o := good
@@ -68,6 +69,7 @@ func TestRunEndToEnd(t *testing.T) {
 		mode:      "both",
 		layers:    []int{32, 24, 10},
 		seed:      7,
+		dispatch:  "cim",
 		reprogram: 1,
 	}
 	if err := run(&sb, o); err != nil {
@@ -118,6 +120,7 @@ func TestRunUnhealthySheds(t *testing.T) {
 		mode:      "batch",
 		layers:    []int{32, 24, 10},
 		seed:      7,
+		dispatch:  "cim",
 		reprogram: 1,
 		stuck:     0.05,
 		spares:    0,
@@ -151,6 +154,7 @@ func TestRunFleetEndToEnd(t *testing.T) {
 		mode:      "batch",
 		layers:    []int{32, 24, 10},
 		seed:      7,
+		dispatch:  "cim",
 		reprogram: 1,
 		engines:   4,
 		policy:    "least-loaded",

@@ -179,6 +179,7 @@ func TestRunWithListen(t *testing.T) {
 		mode:     "batch",
 		layers:   []int{32, 24, 10},
 		seed:     7,
+		dispatch: "cim",
 	}
 	// run() would start its own listener from o.listen; drive runBatch
 	// directly against the already-started one to keep the port in hand.

@@ -117,6 +117,41 @@ const (
 	// kernel.
 	GPUKernelLaunchLatencyPS = 5_000_000 // 5 us
 
+	// --- CIM board (suitability model scale) ---
+	//
+	// Board-level aggregates for the workload-suitability model (Table 2)
+	// and the hybrid dispatcher's static routing prior: a board of ~1000
+	// ISAAC-scale crossbars plus embedded digital micro-units. These are
+	// the single source of truth — internal/suitability and
+	// internal/hybrid both price the CIM side from here, exactly as the
+	// Von Neumann side prices from the CPU/GPU constants above.
+
+	// CIMPeakOps is the aggregate in-array op rate: ~1200 crossbars x
+	// 16384 MACs / 100 ns.
+	CIMPeakOps = 2e14
+
+	// CIMControlFlops is the aggregate digital micro-unit rate for work
+	// that does not map in-array.
+	CIMControlFlops = 1e11
+
+	// CIMMeshBandwidth is the aggregate fabric streaming bandwidth.
+	CIMMeshBandwidth = 1e11
+
+	// CIMRoundLatencyS is one cross-unit dataflow synchronization.
+	CIMRoundLatencyS = 50e-9
+
+	// CIMMVMOpEnergyPJ is in-array energy per MAC (crossbar + converters).
+	CIMMVMOpEnergyPJ = 0.1
+
+	// CIMControlOpEnergyPJ is digital micro-unit energy per op.
+	CIMControlOpEnergyPJ = 5.0
+
+	// CIMStreamEnergyPJPerByte is fabric streaming energy.
+	CIMStreamEnergyPJPerByte = 2.0
+
+	// CIMStaticPowerW is board static power.
+	CIMStaticPowerW = 5.0
+
 	// --- Interconnect ---
 
 	// LinkEnergyPJPerByte is on-board electrical link energy.

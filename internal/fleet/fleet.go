@@ -156,6 +156,17 @@ type Config struct {
 	// private registry, the tracer, and a per-engine jitter seed — is
 	// appended after them and cannot be overridden.
 	ServeOptions []serve.Option
+	// WrapBackend, when non-nil, wraps each engine's breaker before it is
+	// handed to the micro-batching server — the hybrid dispatcher's
+	// insertion point. It receives the engine id, the breaker as a
+	// serve.Backend, and the engine's private registry (so wrapper
+	// counters land next to that engine's serve.* series). Returning nil
+	// or b leaves the engine unwrapped. Note that every fleet request is
+	// keyed (its noise sequence number), which an auto-mode hybrid
+	// dispatcher pins to the crossbar side — rolling reprograms go through
+	// the breaker underneath the wrapper without making a digital twin's
+	// weights observable mid-swap.
+	WrapBackend func(id int, b serve.Backend, reg *metrics.Registry) serve.Backend
 }
 
 // Default returns a single-engine, round-robin fleet configuration.
@@ -198,6 +209,11 @@ func WithTracer(tr *obs.Tracer) Option { return func(c *Config) { c.Tracer = tr 
 // WithServeOptions forwards opts to every engine's serve.New/NewBreaker.
 func WithServeOptions(opts ...serve.Option) Option {
 	return func(c *Config) { c.ServeOptions = append(c.ServeOptions, opts...) }
+}
+
+// WithWrapBackend installs a per-engine backend wrapper (Config.WrapBackend).
+func WithWrapBackend(fn func(id int, b serve.Backend, reg *metrics.Registry) serve.Backend) Option {
+	return func(c *Config) { c.WrapBackend = fn }
 }
 
 // fleetMetrics holds the fleet's interned metric handles.
@@ -324,7 +340,13 @@ func (f *Fleet) newEngine(id, weight int, net *nn.Network) (*Engine, energy.Cost
 	if err != nil {
 		return nil, energy.Zero, fmt.Errorf("fleet: engine %d: %w", id, err)
 	}
-	srv, err := serve.New(brk, sopts...)
+	var be serve.Backend = brk
+	if f.cfg.WrapBackend != nil {
+		if w := f.cfg.WrapBackend(id, brk, reg); w != nil {
+			be = w
+		}
+	}
+	srv, err := serve.New(be, sopts...)
 	if err != nil {
 		return nil, energy.Zero, fmt.Errorf("fleet: engine %d: %w", id, err)
 	}

@@ -11,29 +11,10 @@ import (
 	"cimrev/internal/workloads"
 )
 
-// Model constants for the CIM side, sized to a board of ~1000 ISAAC-scale
-// crossbars plus embedded digital micro-units. (The Von Neumann side uses
-// the shared constants in internal/energy.)
-const (
-	// CIMPeakOps is the aggregate in-array op rate: ~1200 crossbars x
-	// 16384 MACs / 100 ns.
-	CIMPeakOps = 2e14
-	// CIMControlFlops is the aggregate digital micro-unit rate for work
-	// that does not map in-array.
-	CIMControlFlops = 1e11
-	// CIMMeshBandwidth is the aggregate fabric streaming bandwidth.
-	CIMMeshBandwidth = 1e11
-	// CIMRoundLatencyS is one cross-unit dataflow synchronization.
-	CIMRoundLatencyS = 50e-9
-	// CIMMVMOpEnergyPJ is in-array energy per MAC (crossbar + converters).
-	CIMMVMOpEnergyPJ = 0.1
-	// CIMControlOpEnergyPJ is digital micro-unit energy per op.
-	CIMControlOpEnergyPJ = 5.0
-	// CIMStreamEnergyPJPerByte is fabric streaming energy.
-	CIMStreamEnergyPJPerByte = 2.0
-	// CIMStaticPowerW is board static power.
-	CIMStaticPowerW = 5.0
-)
+// The CIM-side model constants (board scale, per-op energies) live in
+// internal/energy next to the CPU/GPU figures they are compared against —
+// energy.CIMPeakOps and friends — so suitability scoring and the hybrid
+// dispatcher's static routing prior price the fabric identically.
 
 // Rating is the CIM-benefit verdict.
 type Rating int
@@ -61,11 +42,27 @@ func (r Rating) String() string {
 	}
 }
 
-// Thresholds for mapping the speedup to a rating.
+// Thresholds for mapping the speedup to a rating, exported so runtime
+// consumers (the hybrid dispatcher's crossover sweep) report the same
+// low/medium/high boundaries the offline Table 2 scoring uses.
 const (
-	mediumThreshold = 1.5
-	highThreshold   = 5.0
+	// MediumThreshold is the speedup above which CIM benefit is "medium".
+	MediumThreshold = 1.5
+	// HighThreshold is the speedup above which CIM benefit is "high".
+	HighThreshold = 5.0
 )
+
+// RatingFor maps a VN/CIM latency speedup onto the Table 2 scale.
+func RatingFor(speedup float64) Rating {
+	switch {
+	case speedup >= HighThreshold:
+		return RatingHigh
+	case speedup >= MediumThreshold:
+		return RatingMedium
+	default:
+		return RatingLow
+	}
+}
 
 // Result is one scored class.
 type Result struct {
@@ -112,16 +109,16 @@ func CIMCost(k workloads.Kernel) (energy.Cost, error) {
 	ctrlOps := k.Flops - mvmOps
 	streamBytes := k.DataBytes * (1 - k.StationaryFrac)
 
-	mvmS := mvmOps / (CIMPeakOps * k.Parallelism)
-	ctrlS := ctrlOps / CIMControlFlops
-	streamS := streamBytes / CIMMeshBandwidth
-	roundS := k.Rounds * CIMRoundLatencyS
+	mvmS := mvmOps / (energy.CIMPeakOps * k.Parallelism)
+	ctrlS := ctrlOps / energy.CIMControlFlops
+	streamS := streamBytes / energy.CIMMeshBandwidth
+	roundS := k.Rounds * energy.CIMRoundLatencyS
 	runS := mvmS + ctrlS + streamS + roundS
 
 	latency := energy.PicosecondsFromSeconds(runS)
-	dynamic := mvmOps*CIMMVMOpEnergyPJ + ctrlOps*CIMControlOpEnergyPJ +
-		streamBytes*CIMStreamEnergyPJPerByte
-	static := CIMStaticPowerW * runS * 1e12
+	dynamic := mvmOps*energy.CIMMVMOpEnergyPJ + ctrlOps*energy.CIMControlOpEnergyPJ +
+		streamBytes*energy.CIMStreamEnergyPJPerByte
+	static := energy.CIMStaticPowerW * runS * 1e12
 	return energy.Cost{LatencyPS: latency, EnergyPJ: dynamic + static}, nil
 }
 
@@ -151,14 +148,7 @@ func Score(c workloads.Class, scale float64) (Result, error) {
 	if cim.EnergyPJ > 0 {
 		res.EnergyX = vn.EnergyPJ / cim.EnergyPJ
 	}
-	switch {
-	case res.Speedup >= highThreshold:
-		res.Measured = RatingHigh
-	case res.Speedup >= mediumThreshold:
-		res.Measured = RatingMedium
-	default:
-		res.Measured = RatingLow
-	}
+	res.Measured = RatingFor(res.Speedup)
 	return res, nil
 }
 

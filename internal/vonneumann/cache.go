@@ -130,6 +130,50 @@ func DefaultHierarchy() HierarchyConfig {
 	}
 }
 
+// Validate rejects geometries the per-level constructor would silently
+// mangle (sizes that are not whole lines truncate via integer division)
+// or that describe a physically incoherent hierarchy. Every constructor
+// that consumes a HierarchyConfig calls this first so the executing
+// backend fails fast instead of simulating a cache that cannot exist.
+func (cfg HierarchyConfig) Validate() error {
+	if cfg.LineSize <= 0 {
+		return fmt.Errorf("vonneumann: line size must be positive (%d)", cfg.LineSize)
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return fmt.Errorf("vonneumann: line size %d must be a power of two", cfg.LineSize)
+	}
+	levels := []struct {
+		name       string
+		size, ways int
+	}{
+		{"L1", cfg.L1Size, cfg.L1Ways},
+		{"L2", cfg.L2Size, cfg.L2Ways},
+		{"LLC", cfg.LLCSize, cfg.LLCWays},
+	}
+	for _, l := range levels {
+		if l.size <= 0 || l.ways <= 0 {
+			return fmt.Errorf("vonneumann: %s size and ways must be positive (%d, %d)", l.name, l.size, l.ways)
+		}
+		if l.size%cfg.LineSize != 0 {
+			return fmt.Errorf("vonneumann: %s size %d must be a multiple of line size %d", l.name, l.size, cfg.LineSize)
+		}
+		lines := l.size / cfg.LineSize
+		if lines < l.ways {
+			return fmt.Errorf("vonneumann: %s holds %d lines, fewer than %d ways", l.name, lines, l.ways)
+		}
+		if lines%l.ways != 0 {
+			return fmt.Errorf("vonneumann: %s line count %d must be a multiple of ways %d", l.name, lines, l.ways)
+		}
+	}
+	if cfg.L1Size > cfg.L2Size {
+		return fmt.Errorf("vonneumann: L1 size %d exceeds L2 size %d", cfg.L1Size, cfg.L2Size)
+	}
+	if cfg.L2Size > cfg.LLCSize {
+		return fmt.Errorf("vonneumann: L2 size %d exceeds LLC size %d", cfg.L2Size, cfg.LLCSize)
+	}
+	return nil
+}
+
 // Hierarchy is a three-level inclusive cache simulator with per-level cost
 // accounting. Not safe for concurrent use.
 type Hierarchy struct {
@@ -144,6 +188,9 @@ type Hierarchy struct {
 
 // NewHierarchy builds the hierarchy.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	l1, err := newCacheLevel(cfg.L1Size, cfg.L1Ways, cfg.LineSize)
 	if err != nil {
 		return nil, fmt.Errorf("vonneumann: L1: %w", err)
