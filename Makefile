@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet bench-hybrid cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet bench-hybrid bench-chaos cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -54,7 +54,11 @@ test:
 # The eighth pins the hybrid dispatch layer (docs/HYBRID.md): Von Neumann
 # twin bit-identity at pool widths 1/4/16, calibrator decision-sequence
 # determinism, route invariance through the dispatcher and the serving
-# pipeline, and reprogram suspension of the twin.
+# pipeline, and reprogram suspension of the twin. The ninth pins the
+# resilience layer (docs/RESILIENCE.md): hedged-request bit-identity and
+# budget accounting, the AIMD limiter and brownout state machines, chaos
+# crash-window failover, and fleet membership churn (Leave/Join) racing
+# a rolling reprogram while hedged requests are in flight.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -82,6 +86,9 @@ race:
 	$(GO) test -race -count=1 \
 		-run 'Hybrid|Dispatch|Calibrator|Twin' \
 		./internal/hybrid/ ./internal/vonneumann/ ./internal/experiments/
+	$(GO) test -race -count=1 \
+		-run 'Hedge|Hedger|AIMD|Brownout|Limiter|Chaos|Straggler|Crash|Spikes|Arrivals|Wrap|Scenario|Reprogram|LeaveJoinRacing|Deadline|Resilience' \
+		./internal/fleet/ ./internal/chaos/ ./internal/serve/ ./cmd/cimserve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -91,8 +98,9 @@ bench:
 # GEMM sweep (batch 1/8/32/128 x 64..512, with each result's interleaved
 # looped-baseline speedup metric), converted to BENCH_mvm.json. Also runs
 # the serving-pipeline benchmark so BENCH_serve.json stays in step, and
-# the hybrid dispatch sweep so BENCH_hybrid.json does too.
-bench-json: bench-serve bench-mvm bench-hybrid
+# the hybrid dispatch and chaos sweeps so BENCH_hybrid.json and
+# BENCH_chaos.json do too.
+bench-json: bench-serve bench-mvm bench-hybrid bench-chaos
 
 # The MVM sweeps alone, with the GEMM regression gate: fails unless every
 # deterministic batch >= 8 result on an ISAAC-scale panel (>= 256) beats
@@ -155,6 +163,19 @@ bench-hybrid:
 		| $(GO) run ./cmd/benchjson -gate-hybrid -out BENCH_hybrid.json
 	@echo wrote BENCH_hybrid.json
 
+# Chaos-harness artifact (docs/RESILIENCE.md): the scenario x hedging grid
+# (fault-free baseline, straggler, crash-during-rolling-reprogram, open-
+# loop overload burst) scored against the fault-free single-engine keyed
+# oracle. The -gate-chaos check fails on any lost keyed request, any
+# non-bit-identical output, or overload p99 beyond 10x the fault-free
+# baseline — the SLOs the resilience layer exists to keep. The headline
+# straggler rows should show hedging recovering most of the p99
+# regression (hedge_wins > 0, hedged p99 well under the unhedged row).
+bench-chaos:
+	$(GO) run ./cmd/cimbench -exp chaos -format bench \
+		| $(GO) run ./cmd/benchjson -gate-chaos -out BENCH_chaos.json
+	@echo wrote BENCH_chaos.json
+
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.
 bench-smoke:
@@ -163,13 +184,17 @@ bench-smoke:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzzing pass over the wire-format parsers and the checksum layer.
+# Short fuzzing pass over the wire-format parsers, the checksum layer,
+# and the histogram quantile estimator (the hedge delay and every latency
+# SLO read through it: quantiles must stay monotone in q, inside
+# [Min, Max], and self-consistent on arbitrary observation sets).
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=15s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=15s ./internal/isa/
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=15s ./internal/isa/
 	$(GO) test -fuzz=FuzzSealOpen -fuzztime=15s ./internal/fault/
 	$(GO) test -fuzz=FuzzFlipBit -fuzztime=15s ./internal/fault/
+	$(GO) test -fuzz=FuzzHistogramQuantile -fuzztime=15s ./internal/metrics/
 
 # Regenerate every paper table and figure.
 experiments:

@@ -63,6 +63,8 @@ func main() {
 		"fail unless every deterministic BenchmarkCrossbarMVMBatch result at batch >= 8 reports a speedup metric at least this large (0 disables)")
 	gateHybrid := flag.Bool("gate-hybrid", false,
 		"fail unless the hybrid sweep shows a measured crossover and auto dispatch at least matches the best single backend")
+	gateChaos := flag.Bool("gate-chaos", false,
+		"fail unless the chaos sweep lost zero keyed requests, stayed bit-identical, and kept overload p99 within 10x the fault-free baseline")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -105,6 +107,11 @@ func main() {
 	}
 	if *gateHybrid {
 		if err := GateHybrid(doc); err != nil {
+			fatal(err)
+		}
+	}
+	if *gateChaos {
+		if err := GateChaos(doc); err != nil {
 			fatal(err)
 		}
 	}
@@ -220,6 +227,80 @@ func GateHybrid(doc *Document) error {
 	}
 	if mixed["auto"] < best {
 		return fmt.Errorf("gate-hybrid: auto dispatch %.0f req/s lost to best single backend %.0f req/s", mixed["auto"], best)
+	}
+	return nil
+}
+
+// GateChaos enforces the chaos-harness SLOs on a cimbench -exp chaos sweep
+// (make bench-chaos). Three things must hold:
+//
+//   - Zero lost keyed requests: every BenchmarkChaos cell carries a "lost"
+//     metric and it is 0. Chaos may cost latency, or shed under overload,
+//     but a keyed request must never fail outright — hedging and typed
+//     failover exist precisely so that a crashed or stalled engine's
+//     requests land somewhere else.
+//   - Bit identity: every cell's "bit_identical" metric is 1 — injected
+//     faults perturb timing and availability, never answers.
+//   - Bounded overload tail: for each hedging flag, the overload cell's
+//     wall p99 is at most 10x the fault-free baseline cell's ("none",
+//     same flag). Adaptive shedding is supposed to buy exactly this:
+//     excess load is refused, admitted requests keep their latency.
+//
+// Missing cells or metrics are errors — the gate must not pass vacuously.
+func GateChaos(doc *Document) error {
+	checked := 0
+	p99 := map[string]float64{} // "scenario/hedged" -> wall p99
+	for _, res := range doc.Results {
+		rest, ok := strings.CutPrefix(res.Name, "BenchmarkChaos/scenario=")
+		if !ok {
+			continue
+		}
+		checked++
+		lost, ok := res.Extra["lost"]
+		if !ok {
+			return fmt.Errorf("gate-chaos: %s has no lost metric", res.Name)
+		}
+		if lost != 0 {
+			return fmt.Errorf("gate-chaos: %s lost %.0f keyed requests, want 0", res.Name, lost)
+		}
+		bit, ok := res.Extra["bit_identical"]
+		if !ok {
+			return fmt.Errorf("gate-chaos: %s has no bit_identical metric", res.Name)
+		}
+		if bit != 1 {
+			return fmt.Errorf("gate-chaos: %s is not bit-identical to the fault-free oracle", res.Name)
+		}
+		scenario, hedged, ok := strings.Cut(rest, "/hedged=")
+		if !ok {
+			return fmt.Errorf("gate-chaos: %s does not name a hedged flag", res.Name)
+		}
+		wp99, ok := res.Extra["wall_p99_ns"]
+		if !ok {
+			return fmt.Errorf("gate-chaos: %s has no wall_p99_ns metric", res.Name)
+		}
+		p99[scenario+"/"+hedged] = wp99
+	}
+	if checked == 0 {
+		return fmt.Errorf("gate-chaos: no BenchmarkChaos results to check")
+	}
+	pairs := 0
+	for _, hedged := range []string{"off", "on"} {
+		base, okBase := p99["none/"+hedged]
+		over, okOver := p99["overload/"+hedged]
+		if !okBase || !okOver {
+			continue
+		}
+		pairs++
+		if base <= 0 {
+			return fmt.Errorf("gate-chaos: baseline (hedged=%s) p99 is %.0f ns", hedged, base)
+		}
+		if over > 10*base {
+			return fmt.Errorf("gate-chaos: overload p99 %.0f ns > 10x fault-free baseline %.0f ns (hedged=%s)",
+				over, base, hedged)
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("gate-chaos: no (none, overload) cell pair to compare p99 against")
 	}
 	return nil
 }

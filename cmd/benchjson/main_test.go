@@ -201,3 +201,98 @@ func TestGateHybrid(t *testing.T) {
 		t.Error("sweep cell without speedup_cim passed")
 	}
 }
+
+// chaosCell is one BenchmarkChaos row for chaosDoc. A negative field omits
+// that metric to exercise the vacuous-pass errors.
+type chaosCell struct {
+	lost, bit, p99 float64
+}
+
+func chaosDoc(cells map[string]chaosCell) *Document {
+	doc := &Document{}
+	for name, c := range cells {
+		res := Result{Name: name, Iterations: 1, Extra: map[string]float64{}}
+		if c.lost >= 0 {
+			res.Extra["lost"] = c.lost
+		}
+		if c.bit >= 0 {
+			res.Extra["bit_identical"] = c.bit
+		}
+		if c.p99 >= 0 {
+			res.Extra["wall_p99_ns"] = c.p99
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	return doc
+}
+
+// TestGateChaos pins the `make bench-chaos` acceptance gate: zero lost
+// keyed requests and bit identity in every cell, overload p99 within 10x
+// the fault-free baseline per hedging flag, and no vacuous passes when
+// cells or metrics are missing.
+func TestGateChaos(t *testing.T) {
+	good := func() map[string]chaosCell {
+		return map[string]chaosCell{
+			"BenchmarkChaos/scenario=none/hedged=off":      {0, 1, 1e6},
+			"BenchmarkChaos/scenario=none/hedged=on":       {0, 1, 1.2e6},
+			"BenchmarkChaos/scenario=straggler/hedged=off": {0, 1, 30e6},
+			"BenchmarkChaos/scenario=straggler/hedged=on":  {0, 1, 5e6},
+			"BenchmarkChaos/scenario=crash/hedged=off":     {0, 1, 3e6},
+			"BenchmarkChaos/scenario=crash/hedged=on":      {0, 1, 3e6},
+			"BenchmarkChaos/scenario=overload/hedged=off":  {0, 1, 8e6},
+			"BenchmarkChaos/scenario=overload/hedged=on":   {0, 1, 9e6},
+		}
+	}
+	if err := GateChaos(chaosDoc(good())); err != nil {
+		t.Errorf("passing sweep gated: %v", err)
+	}
+
+	lost := good()
+	lost["BenchmarkChaos/scenario=crash/hedged=off"] = chaosCell{2, 1, 3e6}
+	if err := GateChaos(chaosDoc(lost)); err == nil {
+		t.Error("sweep with lost keyed requests passed")
+	}
+
+	bits := good()
+	bits["BenchmarkChaos/scenario=straggler/hedged=on"] = chaosCell{0, 0, 5e6}
+	if err := GateChaos(chaosDoc(bits)); err == nil {
+		t.Error("sweep with non-bit-identical outputs passed")
+	}
+
+	slow := good()
+	slow["BenchmarkChaos/scenario=overload/hedged=off"] = chaosCell{0, 1, 11e6}
+	if err := GateChaos(chaosDoc(slow)); err == nil {
+		t.Error("overload p99 above 10x baseline passed")
+	}
+
+	noLost := good()
+	noLost["BenchmarkChaos/scenario=crash/hedged=off"] = chaosCell{-1, 1, 3e6}
+	if err := GateChaos(chaosDoc(noLost)); err == nil {
+		t.Error("cell without a lost metric passed")
+	}
+
+	noBit := good()
+	noBit["BenchmarkChaos/scenario=crash/hedged=off"] = chaosCell{0, -1, 3e6}
+	if err := GateChaos(chaosDoc(noBit)); err == nil {
+		t.Error("cell without a bit_identical metric passed")
+	}
+
+	noP99 := good()
+	noP99["BenchmarkChaos/scenario=overload/hedged=off"] = chaosCell{0, 1, -1}
+	if err := GateChaos(chaosDoc(noP99)); err == nil {
+		t.Error("cell without a wall_p99_ns metric passed")
+	}
+
+	if err := GateChaos(chaosDoc(map[string]chaosCell{
+		"BenchmarkHybridSweep/size=16/batch=1": {0, 1, 1e6},
+	})); err == nil {
+		t.Error("gate passed vacuously with no chaos cells")
+	}
+
+	if err := GateChaos(chaosDoc(map[string]chaosCell{
+		"BenchmarkChaos/scenario=straggler/hedged=off": {0, 1, 30e6},
+		"BenchmarkChaos/scenario=straggler/hedged=on":  {0, 1, 5e6},
+	})); err == nil {
+		t.Error("gate passed without a (none, overload) p99 pair")
+	}
+}

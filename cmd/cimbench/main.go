@@ -22,6 +22,10 @@
 //	cimbench -exp hybrid -format bench
 //	                          # CIM-vs-CPU crossover sweep + mixed-workload
 //	                          # dispatch comparison (make bench-hybrid)
+//	cimbench -exp chaos -format bench
+//	                          # SLO-retention chaos sweep: scenario x hedging
+//	                          # grid against the fault-free oracle
+//	                          # (make bench-chaos, gated by -gate-chaos)
 //	cimbench -trace out.json  # run the traced reference workload and write
 //	                          # a Chrome trace_event file (chrome://tracing,
 //	                          # ui.perfetto.dev)
@@ -53,7 +57,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet")
+	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet, chaos")
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
 	engines := flag.String("engines", "1,2,4,8", "comma-separated fleet sizes for the fleet serving sweep")
@@ -137,6 +141,11 @@ type benchHybrid struct{ res *experiments.HybridResult }
 
 func (b benchHybrid) Format() string { return b.res.BenchFormat() }
 
+// benchChaos does the same for the SLO-retention chaos sweep.
+type benchChaos struct{ res *experiments.ChaosResult }
+
+func (b benchChaos) Format() string { return b.res.BenchFormat() }
+
 func run(exp, sizeList, boardList, engineList, format string) error {
 	sizes, err := parseInts(sizeList)
 	if err != nil {
@@ -153,8 +162,8 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 	if format != "text" && format != "bench" {
 		return fmt.Errorf("unknown format %q (want text or bench)", format)
 	}
-	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" && exp != "hybrid" {
-		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, -exp fleet, or -exp hybrid")
+	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" && exp != "hybrid" && exp != "chaos" {
+		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, -exp fleet, -exp hybrid, or -exp chaos")
 	}
 
 	// The canonical experiment order. Each job is independent, so selected
@@ -221,16 +230,26 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 			}
 			return res, nil
 		}},
+		{"chaos", func() (formatter, error) {
+			res, err := experiments.ChaosSweep(nil, 512)
+			if err != nil {
+				return nil, err
+			}
+			if format == "bench" {
+				return benchChaos{res}, nil
+			}
+			return res, nil
+		}},
 	}
 
 	selected := jobs[:0:0]
 	for _, j := range jobs {
 		// The obs overhead measurement is wall-clock timing, and the fleet
-		// sweep runs closed-loop client goroutines with wall-clock latency
-		// quantiles; both only run when asked for explicitly, never as part
-		// of -exp all (they would contend with the other experiments and
-		// measure noise).
-		if (j.name == "obs" && exp != "obs") || (j.name == "fleet" && exp != "fleet") {
+		// and chaos sweeps run client goroutines with wall-clock latency
+		// quantiles (chaos also sleeps injected delays); all three only run
+		// when asked for explicitly, never as part of -exp all (they would
+		// contend with the other experiments and measure noise).
+		if (j.name == "obs" && exp != "obs") || (j.name == "fleet" && exp != "fleet") || (j.name == "chaos" && exp != "chaos") {
 			continue
 		}
 		if exp == "all" || exp == j.name {
@@ -238,7 +257,7 @@ func run(exp, sizeList, boardList, engineList, format string) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet, chaos)", exp)
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {

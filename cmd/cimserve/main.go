@@ -51,6 +51,21 @@
 // reprogram_failed counts weight swaps that failed after the breaker's
 // retry budget. -stuck and -spares inject device faults to exercise these
 // paths; at the defaults (no faults) all three stay zero.
+//
+// The resilience layer (docs/RESILIENCE.md) is driven by four flags:
+// -deadline sets a per-request budget — requests that expire anywhere in
+// the pipeline (ingress queue included) shed with the typed
+// ErrDeadlineExceeded and are counted as deadline_exceeded, never
+// retried. -hedge (fleet mode) re-issues requests that outlive the
+// tracked p95 on a second engine — keyed noise makes the two attempts
+// bit-identical, so first-response-wins is safe; hedged / hedge_won land
+// on the bench line. -overload (fleet mode) enables the per-engine AIMD
+// concurrency limiter and the priority brownout. -chaos <scenario>
+// injects a deterministic fault plan (none, straggler, crash, overload —
+// internal/chaos) into every engine; /healthz reports the active
+// scenario and each engine's current concurrency limit. Note the
+// micro-batcher's *flush* deadline — how long a partial batch may wait
+// for company — is the separate -maxdelay flag.
 package main
 
 import (
@@ -69,6 +84,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cimrev/internal/chaos"
 	"cimrev/internal/dpe"
 	"cimrev/internal/faultinject"
 	"cimrev/internal/fleet"
@@ -84,7 +100,8 @@ type options struct {
 	clients   int
 	requests  int
 	batch     int
-	deadline  time.Duration
+	maxdelay  time.Duration // micro-batcher flush deadline
+	deadline  time.Duration // per-request deadline (0 = none)
 	queue     int
 	mode      string
 	layers    []int
@@ -96,6 +113,9 @@ type options struct {
 	engines   int
 	policy    string
 	dispatch  string
+	hedge     bool
+	overload  bool
+	chaos     string
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -125,8 +145,10 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -requests must be >= 1, got %d", o.requests)
 	case o.batch < 1:
 		return fmt.Errorf("cimserve: -batch must be >= 1, got %d", o.batch)
-	case o.deadline <= 0:
-		return fmt.Errorf("cimserve: -deadline must be positive, got %v", o.deadline)
+	case o.maxdelay <= 0:
+		return fmt.Errorf("cimserve: -maxdelay must be positive, got %v", o.maxdelay)
+	case o.deadline < 0:
+		return fmt.Errorf("cimserve: -deadline must be >= 0 (0 disables), got %v", o.deadline)
 	case o.queue < 1:
 		return fmt.Errorf("cimserve: -queue must be >= 1, got %d", o.queue)
 	case o.queue < o.clients:
@@ -141,12 +163,21 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -spares must be >= 0, got %d", o.spares)
 	case o.engines < 1:
 		return fmt.Errorf("cimserve: -engines must be >= 1, got %d", o.engines)
+	case o.hedge && o.engines < 2:
+		return fmt.Errorf("cimserve: -hedge needs a fleet to hedge across, use -engines >= 2")
+	case o.overload && o.engines < 2:
+		return fmt.Errorf("cimserve: -overload is a fleet-mode control, use -engines >= 2")
 	}
 	if _, err := fleet.ParsePolicy(o.policy); err != nil {
 		return fmt.Errorf("cimserve: -policy: %w", err)
 	}
 	if _, err := hybrid.ParseMode(o.dispatch); err != nil {
 		return fmt.Errorf("cimserve: -dispatch: %w", err)
+	}
+	if plan, err := chaos.ScenarioPlan(o.chaos, o.seed, 1); err != nil {
+		return fmt.Errorf("cimserve: -chaos: %w", err)
+	} else if plan.Enabled() && o.engines < 2 {
+		return fmt.Errorf("cimserve: -chaos %s targets a fleet, use -engines >= 2", o.chaos)
 	}
 	return nil
 }
@@ -173,6 +204,15 @@ type runStats struct {
 	dispCIM    int64
 	dispVN     int64
 	dispPinned int64
+
+	// Resilience breakdown (docs/RESILIENCE.md): requests shed by their
+	// per-request deadline, hedges issued/won, limiter refusals folded
+	// into failovers, and brownout sheds of low-priority traffic.
+	deadlineExceeded int64
+	hedged           int64
+	hedgeWon         int64
+	limiterRefused   int64
+	brownoutShed     int64
 }
 
 func (s runStats) wallReqPerSec() float64 {
@@ -195,7 +235,8 @@ func main() {
 	flag.IntVar(&o.clients, "clients", 64, "concurrent closed-loop clients")
 	flag.IntVar(&o.requests, "requests", 2048, "total requests per mode")
 	flag.IntVar(&o.batch, "batch", 64, "micro-batcher max batch size")
-	flag.DurationVar(&o.deadline, "deadline", 2*time.Millisecond, "micro-batcher flush deadline")
+	flag.DurationVar(&o.maxdelay, "maxdelay", 2*time.Millisecond, "micro-batcher flush deadline: max delay a partial batch waits for company")
+	flag.DurationVar(&o.deadline, "deadline", 0, "per-request deadline; expired requests shed with ErrDeadlineExceeded (0 disables)")
 	flag.IntVar(&o.queue, "queue", 4096, "ingress queue bound (backpressure high-water mark)")
 	flag.StringVar(&o.mode, "mode", "both", "serving modes to run: both|serial|batch")
 	flag.StringVar(&layersFlag, "layers", "256,256,256,256,256,128,10", "8-bit MLP layer sizes")
@@ -207,6 +248,9 @@ func main() {
 	flag.IntVar(&o.engines, "engines", 1, "fleet size: engines behind the request router (1 = single-engine batch mode)")
 	flag.StringVar(&o.policy, "policy", "round-robin", "fleet routing policy: round-robin, least-loaded, weighted, wear-aware")
 	flag.StringVar(&o.dispatch, "dispatch", "cim", "backend dispatch policy: cim (crossbar only), vn (Von Neumann twin only), auto (cost-model routing)")
+	flag.BoolVar(&o.hedge, "hedge", false, "fleet mode: hedge requests that outlive the tracked p95 onto a second engine (first response wins, bit-identical)")
+	flag.BoolVar(&o.overload, "overload", false, "fleet mode: enable the per-engine AIMD concurrency limiter and priority brownout")
+	flag.StringVar(&o.chaos, "chaos", "none", "fleet mode: deterministic chaos scenario to inject: none, straggler, crash, overload")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -303,6 +347,20 @@ func run(w io.Writer, o options) error {
 			"reprogram_retries": float64(batch.retries),
 		}
 		order := []string{"avg_batch", "swaps", "shed", "unhealthy", "reprogram_failed", "reprogram_retries"}
+		if o.deadline > 0 {
+			extra["deadline_exceeded"] = float64(batch.deadlineExceeded)
+			order = append(order, "deadline_exceeded")
+		}
+		if o.hedge {
+			extra["hedged"] = float64(batch.hedged)
+			extra["hedge_won"] = float64(batch.hedgeWon)
+			order = append(order, "hedged", "hedge_won")
+		}
+		if o.overload {
+			extra["limiter_refused"] = float64(batch.limiterRefused)
+			extra["brownout_shed"] = float64(batch.brownoutShed)
+			order = append(order, "limiter_refused", "brownout_shed")
+		}
 		if o.dispatch != "cim" {
 			extra["dispatch_cim"] = float64(batch.dispCIM)
 			extra["dispatch_vn"] = float64(batch.dispVN)
@@ -438,7 +496,7 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		return runStats{}, err
 	}
 	srv, err := serve.New(disp,
-		serve.WithBatch(o.batch, o.deadline),
+		serve.WithBatch(o.batch, o.maxdelay),
 		serve.WithQueueBound(o.queue),
 		serve.WithRegistry(reg),
 	)
@@ -449,7 +507,7 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		tel.set(reg, pair, brk)
 	}
 
-	var issued, shed, unhealthy, reprogramFailed atomic.Int64
+	var issued, shed, unhealthy, reprogramFailed, deadlined atomic.Int64
 	var energyBits atomic.Uint64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
@@ -465,7 +523,16 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 					return
 				}
 				for {
-					_, cost, err := srv.Infer(inputs[int(i)%len(inputs)])
+					// SubmitDeadline with d <= 0 is plain Submit, so the
+					// fast path is unchanged when -deadline is off.
+					_, cost, err := srv.SubmitDeadline(context.Background(), o.deadline, inputs[int(i)%len(inputs)])
+					if errors.Is(err, serve.ErrDeadlineExceeded) {
+						// The request's budget expired (queued or mid-batch):
+						// it was shed, not lost — count it and move on, never
+						// retry past the deadline.
+						deadlined.Add(1)
+						break
+					}
 					if errors.Is(err, serve.ErrOverloaded) {
 						// Closed-loop clients with queue >= clients should
 						// never see this; count and retry so the bench
@@ -524,19 +591,20 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 
 	snap := srv.Registry().Snapshot()
 	st := runStats{
-		requests:        o.requests,
-		wall:            wall,
-		simPS:           srv.SimTimePS(),
-		energyPJ:        loadEnergy(&energyBits),
-		lat:             snap.Histograms["serve.latency_ns"],
-		swaps:           pair.Swaps(),
-		shed:            shed.Load(),
-		unhealthy:       unhealthy.Load(),
-		reprogramFailed: reprogramFailed.Load(),
-		retries:         snap.Counters["serve.reprogram_retries"],
-		dispCIM:         snap.Counters["dispatch.cim"],
-		dispVN:          snap.Counters["dispatch.vn"],
-		dispPinned:      snap.Counters["dispatch.pinned_noisy"],
+		requests:         o.requests,
+		wall:             wall,
+		simPS:            srv.SimTimePS(),
+		energyPJ:         loadEnergy(&energyBits),
+		lat:              snap.Histograms["serve.latency_ns"],
+		swaps:            pair.Swaps(),
+		shed:             shed.Load(),
+		unhealthy:        unhealthy.Load(),
+		reprogramFailed:  reprogramFailed.Load(),
+		deadlineExceeded: deadlined.Load(),
+		retries:          snap.Counters["serve.reprogram_retries"],
+		dispCIM:          snap.Counters["dispatch.cim"],
+		dispVN:           snap.Counters["dispatch.vn"],
+		dispPinned:       snap.Counters["dispatch.pinned_noisy"],
 	}
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
 	return st, nil
@@ -561,10 +629,26 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		fleet.WithEngines(o.engines),
 		fleet.WithPolicy(policy),
 		fleet.WithServeOptions(
-			serve.WithBatch(o.batch, o.deadline),
+			serve.WithBatch(o.batch, o.maxdelay),
 			serve.WithQueueBound(o.queue),
 			serve.WithRetry(3, time.Millisecond, 50*time.Millisecond),
 		),
+	}
+	// Resilience controls (docs/RESILIENCE.md), all defaulted: hedging at
+	// the tracked p95 with the 5% budget, AIMD + brownout at the documented
+	// limits, and the named deterministic chaos plan at scale 1.
+	if o.hedge {
+		fopts = append(fopts, fleet.WithHedge(fleet.HedgeConfig{}))
+	}
+	if o.overload {
+		fopts = append(fopts, fleet.WithOverloadControl(fleet.OverloadConfig{}))
+	}
+	plan, err := chaos.ScenarioPlan(o.chaos, o.seed, 1)
+	if err != nil {
+		return runStats{}, err
+	}
+	if plan.Enabled() {
+		fopts = append(fopts, fleet.WithChaos(chaos.New(plan)))
 	}
 	// Non-default dispatch wraps every engine's breaker in its own hybrid
 	// dispatcher with a per-engine twin, so the dispatch.* counters land in
@@ -607,7 +691,7 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		tel.setFleet(f)
 	}
 
-	var issued, shed, unhealthy, reprogramFailed atomic.Int64
+	var issued, shed, unhealthy, reprogramFailed, deadlined atomic.Int64
 	var energyBits atomic.Uint64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
@@ -623,7 +707,21 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 					return
 				}
 				for {
-					_, cost, err := f.SubmitSeq(context.Background(), uint64(i), inputs[int(i)%len(inputs)])
+					// Each attempt gets its own deadline: the budget covers
+					// one trip through the router + engine, not the client's
+					// whole retry loop.
+					ctx, cancel := context.Background(), func() {}
+					if o.deadline > 0 {
+						ctx, cancel = context.WithTimeout(ctx, o.deadline)
+					}
+					_, cost, err := f.SubmitSeq(ctx, uint64(i), inputs[int(i)%len(inputs)])
+					cancel()
+					if errors.Is(err, serve.ErrDeadlineExceeded) {
+						// Shed by the per-request deadline somewhere in the
+						// pipeline — counted, never retried past its budget.
+						deadlined.Add(1)
+						break
+					}
 					if errors.Is(err, serve.ErrOverloaded) {
 						shed.Add(1)
 						time.Sleep(50 * time.Microsecond)
@@ -668,15 +766,21 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		return runStats{}, err
 	}
 
+	fsnap := f.Registry().Snapshot()
 	st := runStats{
-		requests:        o.requests,
-		wall:            wall,
-		simPS:           f.SimTimePS(),
-		energyPJ:        loadEnergy(&energyBits),
-		lat:             f.Registry().Histogram("fleet.latency_ns").Snapshot(),
-		shed:            shed.Load(),
-		unhealthy:       unhealthy.Load(),
-		reprogramFailed: reprogramFailed.Load(),
+		requests:         o.requests,
+		wall:             wall,
+		simPS:            f.SimTimePS(),
+		energyPJ:         loadEnergy(&energyBits),
+		lat:              fsnap.Histograms["fleet.latency_ns"],
+		shed:             shed.Load(),
+		unhealthy:        unhealthy.Load(),
+		reprogramFailed:  reprogramFailed.Load(),
+		deadlineExceeded: deadlined.Load(),
+		hedged:           fsnap.Counters["fleet.hedged"],
+		hedgeWon:         fsnap.Counters["fleet.hedge_won"],
+		limiterRefused:   fsnap.Counters["fleet.limiter_refused"],
+		brownoutShed:     fsnap.Counters["fleet.brownout_shed"],
 	}
 	var batchCount, batchSum float64
 	for _, e := range f.Engines() {
@@ -728,6 +832,11 @@ func summary(w io.Writer, o options, serial, batch runStats) {
 			batch.avgBatch, batch.swaps)
 		fmt.Fprintf(w, "  errors: shed %d   unhealthy %d   reprogram failed %d (retries %d)\n",
 			batch.shed, batch.unhealthy, batch.reprogramFailed, batch.retries)
+		if o.deadline > 0 || o.hedge || o.overload || (o.chaos != "" && o.chaos != "none") {
+			fmt.Fprintf(w, "  resilience: chaos %q   deadline exceeded %d   hedged %d (won %d)   limiter refused %d   brownout shed %d\n",
+				o.chaos, batch.deadlineExceeded, batch.hedged, batch.hedgeWon,
+				batch.limiterRefused, batch.brownoutShed)
+		}
 		if o.dispatch != "cim" {
 			fmt.Fprintf(w, "  dispatch (%s): cim %d   vn %d   pinned %d\n",
 				o.dispatch, batch.dispCIM, batch.dispVN, batch.dispPinned)

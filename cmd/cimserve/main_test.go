@@ -25,7 +25,7 @@ func TestParseLayers(t *testing.T) {
 }
 
 func TestOptionsValidate(t *testing.T) {
-	good := options{clients: 4, requests: 8, batch: 2, deadline: time.Millisecond,
+	good := options{clients: 4, requests: 8, batch: 2, maxdelay: time.Millisecond,
 		queue: 16, mode: "both", layers: []int{16, 8}, engines: 1, policy: "round-robin", dispatch: "cim"}
 	if err := good.validate(); err != nil {
 		t.Fatalf("good options rejected: %v", err)
@@ -34,7 +34,8 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *options) { o.clients = 0 },
 		func(o *options) { o.requests = 0 },
 		func(o *options) { o.batch = 0 },
-		func(o *options) { o.deadline = 0 },
+		func(o *options) { o.maxdelay = 0 },
+		func(o *options) { o.deadline = -time.Millisecond },
 		func(o *options) { o.queue = 0 },
 		func(o *options) { o.queue = o.clients - 1 },
 		func(o *options) { o.mode = "turbo" },
@@ -45,6 +46,13 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *options) { o.engines = 0 },
 		func(o *options) { o.policy = "random" },
 		func(o *options) { o.dispatch = "gpu" },
+		// The resilience flags are fleet-mode controls: hedging, overload
+		// control, and chaos scenarios all need -engines >= 2, and a chaos
+		// scenario outside the catalog is rejected up front.
+		func(o *options) { o.hedge = true },
+		func(o *options) { o.overload = true },
+		func(o *options) { o.chaos = "straggler" },
+		func(o *options) { o.engines = 2; o.chaos = "meteor" },
 	}
 	for i, m := range mut {
 		o := good
@@ -64,7 +72,7 @@ func TestRunEndToEnd(t *testing.T) {
 		clients:   4,
 		requests:  32,
 		batch:     4,
-		deadline:  time.Millisecond,
+		maxdelay:  time.Millisecond,
 		queue:     64,
 		mode:      "both",
 		layers:    []int{32, 24, 10},
@@ -115,7 +123,7 @@ func TestRunUnhealthySheds(t *testing.T) {
 		clients:   4,
 		requests:  4096, // long enough that the loop outlasts the swap retries
 		batch:     4,
-		deadline:  time.Millisecond,
+		maxdelay:  time.Millisecond,
 		queue:     64,
 		mode:      "batch",
 		layers:    []int{32, 24, 10},
@@ -149,7 +157,7 @@ func TestRunFleetEndToEnd(t *testing.T) {
 		clients:   8,
 		requests:  256,
 		batch:     8,
-		deadline:  time.Millisecond,
+		maxdelay:  time.Millisecond,
 		queue:     64,
 		mode:      "batch",
 		layers:    []int{32, 24, 10},
@@ -171,6 +179,57 @@ func TestRunFleetEndToEnd(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFleetResilience drives fleet mode with every resilience flag on:
+// a straggler chaos plan on engine 0, hedging against it, overload
+// control armed, and a generous per-request deadline. The run must
+// complete with no lost requests and the bench line must carry the new
+// resilience metrics. (Whether hedges actually fire here depends on the
+// host's timer floor vs the 2ms stall — the deterministic hedge-fires
+// coverage lives in internal/fleet/resilience_test.go.)
+func TestRunFleetResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	o := options{
+		clients:  8,
+		requests: 192,
+		batch:    8,
+		maxdelay: time.Millisecond,
+		// Far above the straggler's 2ms stall: the deadline path is
+		// exercised (every request carries a budget) without flaky sheds.
+		deadline: 5 * time.Second,
+		queue:    64,
+		mode:     "batch",
+		layers:   []int{32, 24, 10},
+		seed:     7,
+		dispatch: "cim",
+		engines:  3,
+		policy:   "least-loaded",
+		hedge:    true,
+		overload: true,
+		chaos:    "straggler",
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkServe/fleet_c8_b8_e3_least_loaded-",
+		"deadline_exceeded", "hedged", "hedge_won",
+		"limiter_refused", "brownout_shed",
+		"0 deadline_exceeded", // 5s budget: nothing expires
+		"0 unhealthy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilience output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -121,14 +121,25 @@ type engineHealth struct {
 	LostCols int   `json:"lost_cols"`
 	Wear     int64 `json:"wear_writes"`
 	Routed   int64 `json:"routed"`
+	// Limit is the engine's current AIMD concurrency limit and InFlight
+	// its admitted load (docs/RESILIENCE.md); Limit is 0 when overload
+	// control is disabled.
+	Limit    int64 `json:"limit"`
+	InFlight int64 `json:"in_flight"`
 }
 
 // fleetHealthzBody is the /healthz JSON shape in fleet mode.
 type fleetHealthzBody struct {
-	Status    string              `json:"status"` // "ok" or "unhealthy"
-	Engines   []engineHealth      `json:"engines"`
-	Rolling   fleet.RollingStatus `json:"rolling"`
-	CheckedAt string              `json:"checked_at"`
+	Status  string              `json:"status"` // "ok" or "unhealthy"
+	Engines []engineHealth      `json:"engines"`
+	Rolling fleet.RollingStatus `json:"rolling"`
+	// Resilience state (docs/RESILIENCE.md): the active chaos scenario
+	// ("none" when nothing is injected), whether hedging is enabled, and
+	// whether the brownout is currently shedding low-priority traffic.
+	Chaos     string `json:"chaos_scenario"`
+	Hedging   bool   `json:"hedging"`
+	Brownout  bool   `json:"brownout_active"`
+	CheckedAt string `json:"checked_at"`
 }
 
 // handleHealthz scans the live engine through the shadow pair's read gate
@@ -139,6 +150,9 @@ func (t *telemetry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if f := t.getFleet(); f != nil {
 		body := fleetHealthzBody{
 			Rolling:   f.RollingStatus(),
+			Chaos:     f.Chaos().Plan().Name,
+			Hedging:   f.Hedging(),
+			Brownout:  f.BrownoutActive(),
 			CheckedAt: time.Now().UTC().Format(time.RFC3339Nano),
 		}
 		routable := 0
@@ -148,6 +162,7 @@ func (t *telemetry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 				ID: e.ID(), Tripped: e.Tripped(), Draining: e.Draining(),
 				Swaps: e.Pair().Swaps(), LostCols: h.Total.LostCols,
 				Wear: e.Wear(), Routed: e.Routed(),
+				Limit: e.Limit(), InFlight: e.InFlight(),
 			}
 			if !eh.Tripped && !eh.Draining {
 				routable++

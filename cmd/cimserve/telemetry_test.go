@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"cimrev/internal/chaos"
 	"cimrev/internal/dpe"
 	"cimrev/internal/fleet"
 	"cimrev/internal/metrics"
@@ -174,7 +175,7 @@ func TestRunWithListen(t *testing.T) {
 		clients:  4,
 		requests: 64,
 		batch:    4,
-		deadline: time.Millisecond,
+		maxdelay: time.Millisecond,
 		queue:    64,
 		mode:     "batch",
 		layers:   []int{32, 24, 10},
@@ -228,7 +229,17 @@ func TestTelemetryFleet(t *testing.T) {
 	}
 	cfg := dpe.DefaultConfig()
 	cfg.Crossbar.Rows, cfg.Crossbar.Cols = 64, 64
-	f, _, err := fleet.New(cfg, net, fleet.WithEngines(2))
+	// Hedging, overload control, and a chaos plan are all armed so the
+	// /healthz body's resilience fields carry live state, not zero values.
+	plan, err := chaos.ScenarioPlan("straggler", 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := fleet.New(cfg, net, fleet.WithEngines(2),
+		fleet.WithHedge(fleet.HedgeConfig{}),
+		fleet.WithOverloadControl(fleet.OverloadConfig{}),
+		fleet.WithChaos(chaos.New(plan)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,6 +276,17 @@ func TestTelemetryFleet(t *testing.T) {
 	}
 	if fb.Status != "ok" || len(fb.Engines) != 2 || fb.Rolling.Active {
 		t.Errorf("fleet /healthz body = %+v", fb)
+	}
+	// Resilience state: the active chaos scenario by name, hedging on,
+	// brownout off (no overload yet), and every engine's live AIMD limit.
+	if fb.Chaos != "straggler" || !fb.Hedging || fb.Brownout {
+		t.Errorf("fleet /healthz resilience state = chaos %q hedging %v brownout %v",
+			fb.Chaos, fb.Hedging, fb.Brownout)
+	}
+	for _, eh := range fb.Engines {
+		if eh.Limit <= 0 {
+			t.Errorf("engine %d /healthz limit = %d, want > 0 with overload control on", eh.ID, eh.Limit)
+		}
 	}
 
 	// Drain every engine: the fleet has no routable members and /healthz

@@ -1,0 +1,37 @@
+// Open-loop arrival generation. A closed-loop load generator (cimserve's
+// client goroutines, experiments.FleetSweep) cannot overload anything: a
+// slow server slows its own clients down, so the offered rate sags exactly
+// when the system is in trouble — coordinated omission by construction.
+// Real traffic does not wait. Arrivals models it as a Poisson process with
+// deterministic draws: gap i is a pure function of (seed, i), so an
+// overload experiment replays the same arrival train every run.
+package chaos
+
+import (
+	"math"
+	"time"
+
+	"cimrev/internal/noise"
+)
+
+// Arrivals is a deterministic open-loop Poisson arrival process. The zero
+// value is invalid; construct with NewArrivals.
+type Arrivals struct {
+	src    noise.Source
+	meanNS float64
+}
+
+// NewArrivals returns a Poisson arrival process averaging rps arrivals per
+// second, keyed by seed. rps must be > 0.
+func NewArrivals(seed int64, rps float64) Arrivals {
+	return Arrivals{src: noise.NewSource(seed), meanNS: 1e9 / rps}
+}
+
+// Gap returns the inter-arrival gap preceding arrival i: an exponential
+// draw with the process's mean, from the counter stream for i. Gaps are
+// independent across i and identical across runs.
+func (a Arrivals) Gap(i uint64) time.Duration {
+	// Float64 is uniform in (0,1), never 0, so the log is finite.
+	u := a.src.Float64(i)
+	return time.Duration(-a.meanNS * math.Log(u))
+}

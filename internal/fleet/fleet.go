@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cimrev/internal/chaos"
 	"cimrev/internal/dpe"
 	"cimrev/internal/energy"
 	"cimrev/internal/metrics"
@@ -74,6 +75,9 @@ type Engine struct {
 	brk    *serve.Breaker
 	srv    *serve.Server
 	reg    *metrics.Registry
+	// lim is the engine's AIMD concurrency limiter, nil unless the fleet
+	// was built WithOverloadControl (limiter.go).
+	lim *aimdLimiter
 
 	// draining flips when Leave removes the engine from the routing set,
 	// just before its server closes: the router skips draining engines and
@@ -110,6 +114,15 @@ func (e *Engine) Load() int64 { return int64(e.srv.QueueDepth()) + e.inflight.Lo
 
 // Tripped reports whether the engine's circuit breaker is open.
 func (e *Engine) Tripped() bool { return e.brk.Tripped() }
+
+// Limit returns the engine's current AIMD concurrency limit, 0 when
+// overload control is disabled (cimserve surfaces this on /healthz).
+func (e *Engine) Limit() int64 {
+	if e.lim == nil {
+		return 0
+	}
+	return e.lim.Limit()
+}
 
 // Draining reports whether the engine is leaving the fleet.
 func (e *Engine) Draining() bool { return e.draining.Load() }
@@ -167,6 +180,17 @@ type Config struct {
 	// the breaker underneath the wrapper without making a digital twin's
 	// weights observable mid-swap.
 	WrapBackend func(id int, b serve.Backend, reg *metrics.Registry) serve.Backend
+	// Hedge enables hedged requests (hedge.go) when non-nil.
+	Hedge *HedgeConfig
+	// Overload enables the AIMD concurrency limiter and priority brownout
+	// (limiter.go) when non-nil.
+	Overload *OverloadConfig
+	// Chaos, when non-nil and active, wraps every engine's backend with
+	// the deterministic fault injector (internal/chaos) — outermost, above
+	// WrapBackend, so injected stalls and crashes perturb whatever stack
+	// the engine actually runs. A nil or inert injector adds nothing: the
+	// wrap is the identity.
+	Chaos *chaos.Injector
 }
 
 // Default returns a single-engine, round-robin fleet configuration.
@@ -216,6 +240,25 @@ func WithWrapBackend(fn func(id int, b serve.Backend, reg *metrics.Registry) ser
 	return func(c *Config) { c.WrapBackend = fn }
 }
 
+// WithHedge enables hedged requests with cfg (zero fields take the
+// documented defaults — p95 delay, 5% budget).
+func WithHedge(cfg HedgeConfig) Option {
+	return func(c *Config) { h := cfg; c.Hedge = &h }
+}
+
+// WithOverloadControl enables the per-engine AIMD concurrency limiter and
+// fleet-wide priority brownout with cfg (zero fields take the documented
+// defaults).
+func WithOverloadControl(cfg OverloadConfig) Option {
+	return func(c *Config) { o := cfg; c.Overload = &o }
+}
+
+// WithChaos wires the deterministic fault injector into every engine
+// (Config.Chaos). A nil or inert injector is free.
+func WithChaos(inj *chaos.Injector) Option {
+	return func(c *Config) { c.Chaos = inj }
+}
+
 // fleetMetrics holds the fleet's interned metric handles.
 type fleetMetrics struct {
 	requests    *metrics.Counter
@@ -226,6 +269,14 @@ type fleetMetrics struct {
 	rollings    *metrics.Counter
 	engines     *metrics.Gauge
 	latencyNS   *metrics.Histogram
+
+	// Resilience counters (docs/RESILIENCE.md): hedge issue/win/deny,
+	// limiter refusals, and brownout sheds.
+	hedged         *metrics.Counter
+	hedgeWon       *metrics.Counter
+	hedgeDenied    *metrics.Counter
+	limiterRefused *metrics.Counter
+	brownoutShed   *metrics.Counter
 }
 
 func newFleetMetrics(reg *metrics.Registry) fleetMetrics {
@@ -238,6 +289,12 @@ func newFleetMetrics(reg *metrics.Registry) fleetMetrics {
 		rollings:    reg.Counter("fleet.rolling_reprograms"),
 		engines:     reg.Gauge("fleet.engines"),
 		latencyNS:   reg.Histogram("fleet.latency_ns"),
+
+		hedged:         reg.Counter("fleet.hedged"),
+		hedgeWon:       reg.Counter("fleet.hedge_won"),
+		hedgeDenied:    reg.Counter("fleet.hedge_denied"),
+		limiterRefused: reg.Counter("fleet.limiter_refused"),
+		brownoutShed:   reg.Counter("fleet.brownout_shed"),
 	}
 }
 
@@ -263,6 +320,11 @@ type Fleet struct {
 	// seq numbers requests fleet-globally: request k's analog noise draws
 	// from the counter stream for k, on whichever engine serves it.
 	seq atomic.Uint64
+
+	// hedge and over are the resilience controllers, nil when disabled.
+	hedge *hedger
+	over  *brownout
+	chaos *chaos.Injector
 
 	// rollMu serializes rolling reprograms (one standby programs at a
 	// time, fleet-wide — the multi-board write-bandwidth budget).
@@ -299,6 +361,13 @@ func New(dcfg dpe.Config, net *nn.Network, opts ...Option) (*Fleet, energy.Cost,
 		met:    newFleetMetrics(reg),
 		tracer: cfg.Tracer,
 		net:    net,
+		chaos:  cfg.Chaos,
+	}
+	if cfg.Hedge != nil {
+		f.hedge = newHedger(*cfg.Hedge, f.met.latencyNS)
+	}
+	if cfg.Overload != nil {
+		f.over = newBrownout(cfg.Overload.withDefaults())
 	}
 	total := energy.Zero
 	for i := 0; i < cfg.Engines; i++ {
@@ -346,11 +415,18 @@ func (f *Fleet) newEngine(id, weight int, net *nn.Network) (*Engine, energy.Cost
 			be = w
 		}
 	}
+	// Chaos wraps outermost so injected stalls and crashes hit whatever
+	// stack the engine really runs; an inert injector returns be itself.
+	be = f.chaos.Wrap(id, be)
 	srv, err := serve.New(be, sopts...)
 	if err != nil {
 		return nil, energy.Zero, fmt.Errorf("fleet: engine %d: %w", id, err)
 	}
-	return &Engine{id: id, weight: weight, pair: pair, brk: brk, srv: srv, reg: reg}, cost, nil
+	e := &Engine{id: id, weight: weight, pair: pair, brk: brk, srv: srv, reg: reg}
+	if f.cfg.Overload != nil {
+		e.lim = newAIMDLimiter(f.cfg.Overload.withDefaults())
+	}
+	return e, cost, nil
 }
 
 // Registry returns the fleet-level metrics registry (fleet.* series;
@@ -359,6 +435,17 @@ func (f *Fleet) Registry() *metrics.Registry { return f.reg }
 
 // Router returns the fleet's router.
 func (f *Fleet) Router() *Router { return f.router }
+
+// Chaos returns the fleet's chaos injector (nil when none was wired);
+// cimserve's /healthz reports its active scenario.
+func (f *Fleet) Chaos() *chaos.Injector { return f.chaos }
+
+// Hedging reports whether hedged requests are enabled.
+func (f *Fleet) Hedging() bool { return f.hedge != nil }
+
+// BrownoutActive reports whether the fleet is currently shedding
+// low-priority traffic (false when overload control is disabled).
+func (f *Fleet) BrownoutActive() bool { return f.over != nil && f.over.active() }
 
 // Engines returns a snapshot of the current members in join order.
 func (f *Fleet) Engines() []*Engine {
@@ -408,19 +495,41 @@ func (f *Fleet) Submit(ctx context.Context, in []float64) ([]float64, energy.Cos
 // is a pure function of (engine config seed, seq, input), bit-identical
 // whether the fleet has 1 engine or 40, under every routing policy, at any
 // -parallel width. The router orders routable engines by policy; an engine
-// that refuses (queue full, breaker tripped, draining) fails over to the
-// next. When every routable engine refuses, the returned error wraps
-// serve.ErrOverloaded if any refusal was capacity and serve.ErrUnhealthy
-// only when health shed every attempt; a fleet whose every member is
-// tripped fails fast with serve.ErrUnhealthy, and an empty fleet with
-// ErrNoEngines.
+// that refuses (queue full, concurrency limit hit, breaker tripped,
+// draining) fails over to the next. When every routable engine refuses,
+// the returned error wraps serve.ErrOverloaded if any refusal was capacity
+// and serve.ErrUnhealthy only when health shed every attempt; a fleet
+// whose every member is tripped fails fast with serve.ErrUnhealthy, and an
+// empty fleet with ErrNoEngines.
+//
+// SubmitSeq requests are PriorityHigh; deferrable work submits through
+// SubmitSeqPri with PriorityLow and accepts brownout shedding.
 func (f *Fleet) SubmitSeq(ctx context.Context, seq uint64, in []float64) ([]float64, energy.Cost, error) {
+	return f.SubmitSeqPri(ctx, seq, in, PriorityHigh)
+}
+
+// SubmitSeqPri is SubmitSeq with an explicit priority class. Under
+// sustained overload (limiter.go) PriorityLow requests are shed at the
+// door with an error wrapping serve.ErrOverloaded — brownout: background
+// traffic pays first so interactive traffic keeps its latency. With
+// hedging enabled (WithHedge), a request that outlives the fleet's
+// adaptive p95 delay is re-issued on a second engine and the first
+// response wins — bit-identical by the keyed-noise contract, so the race
+// has no observable outcome beyond latency.
+func (f *Fleet) SubmitSeqPri(ctx context.Context, seq uint64, in []float64, pri Priority) ([]float64, energy.Cost, error) {
 	start := time.Now()
 	f.met.requests.Inc()
+	if f.over != nil && pri == PriorityLow && f.over.active() {
+		f.met.brownoutShed.Inc()
+		return nil, energy.Zero, fmt.Errorf("fleet: brownout shed (low priority): %w", serve.ErrOverloaded)
+	}
 	engines := f.Engines()
 	if len(engines) == 0 {
 		f.met.unrouteable.Inc()
 		return nil, energy.Zero, ErrNoEngines
+	}
+	if f.over != nil {
+		f.over.observe(engines)
 	}
 	order, tripped := f.router.Route(engines, seq)
 	if len(order) == 0 {
@@ -430,35 +539,83 @@ func (f *Fleet) SubmitSeq(ctx context.Context, seq uint64, in []float64) ([]floa
 		}
 		return nil, energy.Zero, fmt.Errorf("fleet: all engines draining: %w", ErrNoEngines)
 	}
+	var (
+		out  []float64
+		cost energy.Cost
+		err  error
+	)
+	if f.hedge != nil && len(order) > 1 {
+		out, cost, err = f.submitHedged(ctx, order, seq, in)
+	} else {
+		out, cost, err = f.tryOrder(ctx, order, seq, in)
+	}
+	if err == nil {
+		f.met.latencyNS.Observe(float64(time.Since(start).Nanoseconds()))
+		return out, cost, nil
+	}
+	if errors.Is(err, errExhausted) {
+		f.met.unrouteable.Inc()
+	}
+	return nil, energy.Zero, err
+}
+
+// errExhausted marks a tryOrder failure where every routable engine
+// refused (as opposed to a request-owned failure like cancellation). It
+// always travels wrapped alongside the public capacity/health sentinel.
+var errExhausted = errors.New("fleet: routable engines exhausted")
+
+// tryOrder attempts the engines in order with typed failover: capacity
+// refusals (full queue, AIMD limit, closing server) and health sheds move
+// to the next engine; request-owned failures (cancellation, deadline,
+// hard errors) return immediately. The exhaustion error wraps both
+// errExhausted and the dominant public sentinel.
+func (f *Fleet) tryOrder(ctx context.Context, order []*Engine, seq uint64, in []float64) ([]float64, energy.Cost, error) {
 	sawCapacity := false
-	for k, e := range order {
-		if k > 0 {
+	tried := 0
+	for _, e := range order {
+		inflight := e.inflight.Load()
+		if e.lim != nil && !e.lim.admits(inflight) {
+			// The limiter refuses before the engine's queue absorbs the
+			// request: queueing delay stays bounded by the converged
+			// limit, not the static queue bound.
+			f.met.limiterRefused.Inc()
+			sawCapacity = true
+			continue
+		}
+		if tried > 0 {
 			f.met.failovers.Inc()
 		}
+		tried++
 		e.inflight.Add(1)
 		out, cost, err := e.srv.SubmitKeyed(ctx, seq, in)
 		e.inflight.Add(-1)
 		switch {
 		case err == nil:
+			if e.lim != nil {
+				e.lim.onSuccess()
+			}
 			e.routed.Add(1)
-			f.met.latencyNS.Observe(float64(time.Since(start).Nanoseconds()))
 			return out, cost, nil
-		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+		case errors.Is(err, serve.ErrOverloaded):
+			if e.lim != nil {
+				e.lim.onOverload()
+			}
+			sawCapacity = true
+		case errors.Is(err, serve.ErrClosed):
 			sawCapacity = true
 		case errors.Is(err, serve.ErrUnhealthy):
-			// Tripped between the routing scan and the submit; try the
-			// next engine.
+			// Tripped (or chaos-crashed) between the routing scan and the
+			// submit; try the next engine.
 		default:
-			// Canceled contexts and hard errors are the request's own
-			// problem, not a routing problem.
+			// Canceled contexts, blown deadlines, and hard errors are the
+			// request's own problem, not a routing problem.
 			return nil, energy.Zero, err
 		}
 	}
-	f.met.unrouteable.Inc()
 	if sawCapacity {
-		return nil, energy.Zero, fmt.Errorf("fleet: all %d routable engines refused: %w", len(order), serve.ErrOverloaded)
+		return nil, energy.Zero, fmt.Errorf("fleet: all %d routable engines refused (%w): %w", len(order), errExhausted, serve.ErrOverloaded)
 	}
-	return nil, energy.Zero, fmt.Errorf("fleet: all %d routable engines shed: %w", len(order), serve.ErrUnhealthy)
+	return nil, energy.Zero, fmt.Errorf("fleet: all %d routable engines shed (%w): %w", len(order), errExhausted, serve.ErrUnhealthy)
 }
 
 // Join adds one engine (weight 1) programmed with the fleet's current

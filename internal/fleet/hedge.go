@@ -1,0 +1,221 @@
+// Hedged requests: the "Tail at Scale" defense, made safe by determinism.
+//
+// A request that has waited longer than the fleet's tracked p95 latency is
+// probably stuck behind a straggler (slow engine, stall, GC-of-the-analog
+// world). Instead of waiting it out, the fleet re-issues the *same keyed
+// request* to a different engine and takes whichever response lands first.
+// Two properties make this trivially correct here where it is subtle in
+// most systems:
+//
+//   - Keyed noise (docs/CLUSTER.md): the output is a pure function of
+//     (seed, seq, input), so the hedge's answer is bit-identical to the
+//     primary's — there is no "which reply do we trust" problem, and no
+//     side effects to deduplicate.
+//   - The loser is canceled, not abandoned: its context is torn down, so
+//     a still-queued duplicate is shed before it reaches a crossbar and a
+//     mid-batch one has its result discarded.
+//
+// The delay adapts: it tracks a configurable quantile (default p95) of the
+// fleet's observed request latency, so only the slowest ~5% of requests
+// ever hedge, and a token budget (default 5% of request volume) caps the
+// extra load even when the latency distribution collapses. See
+// docs/RESILIENCE.md for why p95-delay hedging needs the straggler's
+// traffic share below the hedge quantile — and why the straggler sweep
+// pairs hedging with the least-loaded policy.
+package fleet
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"cimrev/internal/energy"
+	"cimrev/internal/metrics"
+)
+
+// HedgeConfig tunes hedged requests. The zero value is refined to the
+// defaults by WithHedge.
+type HedgeConfig struct {
+	// Quantile of the fleet latency distribution used as the hedge delay
+	// (0 → 0.95): a request older than this is assumed stuck.
+	Quantile float64
+	// MinDelay / MaxDelay clamp the adaptive delay (0 → 200µs / 20ms).
+	// The floor keeps a cold, fast fleet from hedging everything; the cap
+	// keeps hedges firing when a straggler has dragged p95 itself into
+	// the stall time.
+	MinDelay, MaxDelay time.Duration
+	// Budget is the hedge rate cap as a fraction of submitted requests
+	// (0 → 0.05): hedge tokens accrue at Budget per request and each
+	// hedge spends one. Denied hedges count in fleet.hedge_denied.
+	Budget float64
+	// Burst bounds banked tokens (0 → 64): a long quiet period cannot
+	// bank an unbounded hedge storm.
+	Burst int
+}
+
+// withDefaults fills zero fields with the canonical defaults.
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 200 * time.Microsecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 20 * time.Millisecond
+	}
+	if c.Budget == 0 {
+		c.Budget = 0.05
+	}
+	if c.Burst == 0 {
+		c.Burst = 64
+	}
+	return c
+}
+
+// hedger holds the live hedging state: the adaptive delay and the token
+// budget, both lock-free.
+type hedger struct {
+	cfg HedgeConfig
+	// latency is the fleet.latency_ns histogram the delay tracks.
+	latency *metrics.Histogram
+	// delayNS is the cached adaptive delay, recomputed from the histogram
+	// every delayEvery requests (a 64-bucket scan is too much per request).
+	delayNS atomic.Int64
+	tick    atomic.Uint64
+	// credits is the token bucket in millitokens (1000 = one hedge).
+	credits atomic.Int64
+}
+
+// delayEvery is the delay-refresh cadence in requests.
+const delayEvery = 64
+
+// hedgeToken is one hedge in millitokens.
+const hedgeToken = 1000
+
+func newHedger(cfg HedgeConfig, latency *metrics.Histogram) *hedger {
+	h := &hedger{cfg: cfg.withDefaults(), latency: latency}
+	h.delayNS.Store(int64(h.cfg.MaxDelay))
+	// The bucket starts full: a straggler in the first requests of a fresh
+	// fleet is exactly when hedging pays, and the burst bound caps the cost.
+	h.credits.Store(int64(h.cfg.Burst) * hedgeToken)
+	return h
+}
+
+// delay returns the current hedge delay, refreshing the cached quantile
+// on the refresh cadence. With no latency history yet it stays at
+// MaxDelay — hedge conservatively until there is a distribution to track.
+func (h *hedger) delay() time.Duration {
+	if h.tick.Add(1)%delayEvery == 0 {
+		if snap := h.latency.Snapshot(); snap.Count > 0 {
+			d := time.Duration(snap.Quantile(h.cfg.Quantile))
+			if d < h.cfg.MinDelay {
+				d = h.cfg.MinDelay
+			}
+			if d > h.cfg.MaxDelay {
+				d = h.cfg.MaxDelay
+			}
+			h.delayNS.Store(int64(d))
+		}
+	}
+	return time.Duration(h.delayNS.Load())
+}
+
+// earn accrues hedge budget for one submitted request, clamped to the
+// burst bound. The clamp races benignly: a concurrent earn can overshoot
+// by a few tokens before the store lands, never unboundedly.
+func (h *hedger) earn() {
+	if v := h.credits.Add(int64(h.cfg.Budget * hedgeToken)); v > int64(h.cfg.Burst)*hedgeToken {
+		h.credits.Store(int64(h.cfg.Burst) * hedgeToken)
+	}
+}
+
+// spend takes one hedge token, reporting whether the budget allowed it.
+func (h *hedger) spend() bool {
+	if h.credits.Add(-hedgeToken) < 0 {
+		h.credits.Add(hedgeToken)
+		return false
+	}
+	return true
+}
+
+// attemptResult carries one submission attempt's outcome between the
+// hedging goroutines and the arbiter.
+type attemptResult struct {
+	out  []float64
+	cost energy.Cost
+	err  error
+}
+
+// submitHedged runs the primary attempt with a hedge armed behind the
+// adaptive delay. The first success wins and the loser's context is
+// canceled (a queued duplicate is shed, a mid-batch one discarded —
+// bounded waste either way). If one side fails hard, the other's outcome
+// is awaited rather than discarded, so a hedge also doubles as fast
+// failover insurance: a keyed request is lost only when *both* lanes fail.
+func (f *Fleet) submitHedged(ctx context.Context, order []*Engine, seq uint64, in []float64) ([]float64, energy.Cost, error) {
+	h := f.hedge
+	h.earn()
+
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	prim := make(chan attemptResult, 1)
+	go func() {
+		out, cost, err := f.tryOrder(pctx, order, seq, in)
+		prim <- attemptResult{out, cost, err}
+	}()
+
+	timer := time.NewTimer(h.delay())
+	defer timer.Stop()
+
+	var hch chan attemptResult // nil until the hedge launches
+	var hcancel context.CancelFunc
+	defer func() {
+		if hcancel != nil {
+			hcancel()
+		}
+	}()
+
+	for {
+		select {
+		case r := <-prim:
+			if r.err == nil || hch == nil {
+				return r.out, r.cost, r.err
+			}
+			// Primary failed with a hedge in flight: the hedge is now the
+			// request's only hope — wait for it.
+			if hr := <-hch; hr.err == nil {
+				f.met.hedgeWon.Inc()
+				return hr.out, hr.cost, nil
+			}
+			return r.out, r.cost, r.err
+		case hr := <-hch:
+			if hr.err == nil {
+				pcancel()
+				f.met.hedgeWon.Inc()
+				return hr.out, hr.cost, nil
+			}
+			// Hedge lost its race with a failure; the primary decides.
+			r := <-prim
+			return r.out, r.cost, r.err
+		case <-timer.C:
+			if !h.spend() {
+				f.met.hedgeDenied.Inc()
+				continue // budget exhausted; ride the primary out
+			}
+			f.met.hedged.Inc()
+			// The hedge prefers engines the primary tried last: order[0]
+			// is almost certainly where the primary is stuck.
+			hedgeOrder := make([]*Engine, 0, len(order))
+			hedgeOrder = append(hedgeOrder, order[1:]...)
+			hedgeOrder = append(hedgeOrder, order[0])
+			hctx, cancel := context.WithCancel(ctx)
+			hcancel = cancel
+			hch = make(chan attemptResult, 1)
+			go func() {
+				out, cost, err := f.tryOrder(hctx, hedgeOrder, seq, in)
+				hch <- attemptResult{out, cost, err}
+			}()
+		}
+	}
+}

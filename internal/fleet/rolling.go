@@ -26,6 +26,7 @@ package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"cimrev/internal/energy"
 	"cimrev/internal/nn"
@@ -144,6 +145,13 @@ func (f *Fleet) RollingReprogram(net *nn.Network) *RollingReport {
 			Active: true, EngineID: e.id,
 			Done: rep.Attempted, Failed: rep.Failed, Total: total,
 		})
+		// Chaos reprogram hang: the standby stalls before programming —
+		// the roll (and the rollMu it holds) is pinned while the rest of
+		// the fleet keeps serving, which is exactly the window the
+		// crash-during-rolling-reprogram scenario stresses.
+		if d := f.chaos.ReprogramDelay(e.id); d > 0 {
+			time.Sleep(d)
+		}
 		v, h, err := e.brk.Reprogram(net)
 		pe := EngineReprogram{ID: e.id, Visible: v, Hidden: h, Err: err}
 		rep.PerEngine = append(rep.PerEngine, pe)

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzHistogramQuantile feeds arbitrary observation sets into the
+// lock-free histogram and checks the quantile estimator's contract — the
+// one the hedge delay (internal/fleet) and every latency SLO read
+// through (docs/RESILIENCE.md):
+//
+//   - monotone: q1 <= q2 implies Quantile(q1) <= Quantile(q2), with
+//     out-of-range q clamped to the [0, 1] endpoints;
+//   - bounded: every estimate lies inside the observed [Min, Max];
+//   - self-consistent: Quantile(q) is an upper bound — at least
+//     ceil(q*count) of the recorded observations are <= the estimate.
+//
+// The input bytes decode as raw float64 bit patterns; NaN and ±Inf are
+// skipped (Observe's domain is finite values), everything else — huge,
+// tiny, negative, zero — is fair game for the log2 bucket walk.
+func FuzzHistogramQuantile(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed())
+	f.Add(seed(7.3))
+	f.Add(seed(42, 42, 42, 42))
+	f.Add(seed(3, 3.5))
+	f.Add(seed(-5, -1))
+	f.Add(seed(0, 0.25, 1.5, 100, 1e18))
+	f.Add([]byte{1, 2, 3}) // trailing partial chunk is ignored
+
+	qs := []float64{-3, 0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1, 7}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxObs = 4096
+		h := NewHistogram()
+		var obs []float64
+		for len(data) >= 8 && len(obs) < maxObs {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+			obs = append(obs, v)
+		}
+		snap := h.Snapshot()
+		if snap.Count != int64(len(obs)) {
+			t.Fatalf("Count = %d after %d observations", snap.Count, len(obs))
+		}
+		if len(obs) == 0 {
+			for _, q := range qs {
+				if got := snap.Quantile(q); got != 0 {
+					t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+				}
+			}
+			return
+		}
+
+		sorted := append([]float64(nil), obs...)
+		sort.Float64s(sorted)
+		if snap.Min != sorted[0] || snap.Max != sorted[len(sorted)-1] {
+			t.Fatalf("Min/Max = %g/%g, want %g/%g",
+				snap.Min, snap.Max, sorted[0], sorted[len(sorted)-1])
+		}
+
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			got := snap.Quantile(q)
+			if got < prev {
+				t.Fatalf("quantiles not monotone: Quantile(%g) = %g < previous %g (obs %v)",
+					q, got, prev, obs)
+			}
+			prev = got
+			if got < snap.Min || got > snap.Max {
+				t.Fatalf("Quantile(%g) = %g outside [%g, %g] (obs %v)",
+					q, got, snap.Min, snap.Max, obs)
+			}
+			// Upper-bound self-consistency: the estimate must cover at
+			// least ceil(q*count) observations.
+			qc := q
+			if qc < 0 {
+				qc = 0
+			}
+			if qc > 1 {
+				qc = 1
+			}
+			target := int(math.Ceil(qc * float64(len(obs))))
+			if target == 0 {
+				target = 1
+			}
+			covered := sort.SearchFloat64s(sorted, got)
+			for covered < len(sorted) && sorted[covered] == got {
+				covered++
+			}
+			if covered < target {
+				t.Fatalf("Quantile(%g) = %g covers %d/%d observations, want >= %d (obs %v)",
+					q, got, covered, len(obs), target, obs)
+			}
+		}
+		// Out-of-range q clamps to the endpoints exactly.
+		if snap.Quantile(-3) != snap.Quantile(0) || snap.Quantile(7) != snap.Quantile(1) {
+			t.Fatalf("out-of-range q not clamped: Q(-3)=%g Q(0)=%g Q(7)=%g Q(1)=%g",
+				snap.Quantile(-3), snap.Quantile(0), snap.Quantile(7), snap.Quantile(1))
+		}
+	})
+}

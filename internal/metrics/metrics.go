@@ -251,6 +251,12 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	for i, n := range s.Buckets {
 		cum += n
 		if cum >= target {
+			// The last bucket is the overflow bucket — it holds everything
+			// from 2^62 up, so its nominal edge can sit below the largest
+			// observation. Max is the only honest upper bound there.
+			if i == histBuckets-1 {
+				return s.Max
+			}
 			return s.clamp(BucketUpperEdge(i))
 		}
 	}

@@ -120,3 +120,26 @@ func TestSnapshotSelfConsistent(t *testing.T) {
 		t.Errorf("rate = %g, want 10", s.Rates["r"])
 	}
 }
+
+// TestQuantileOverflowBucket pins the FuzzHistogramQuantile find: values
+// beyond 2^62 all land in the last (overflow) bucket, whose nominal 2^63
+// edge can sit far below the largest observation. Quantiles resolving
+// there must report Max — the only honest upper bound — so a tail
+// estimate can never undercut an observed value.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1.5e-76) // bucket 0
+	h.Observe(6.4e116) // overflow bucket: way past the 2^63 nominal edge
+	for _, q := range []float64{0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 6.4e116 {
+			t.Errorf("Quantile(%g) = %g, want the overflow bucket's Max 6.4e116", q, got)
+		}
+	}
+	// Values inside the penultimate bucket still interpolate normally.
+	h2 := NewHistogram()
+	h2.Observe(2)
+	h2.Observe(1000)
+	if got := h2.Quantile(1); got != 1000 {
+		t.Errorf("in-range Quantile(1) = %g, want clamp to Max 1000", got)
+	}
+}

@@ -146,8 +146,10 @@ func TestSubmitCanceledMidBatch(t *testing.T) {
 	}
 }
 
-// TestSubmitDeadlineExceeded: context deadlines surface the same way as
-// cancellation, wrapping context.DeadlineExceeded.
+// TestSubmitDeadlineExceeded: a context whose *deadline* fires mid-batch
+// surfaces ErrDeadlineExceeded (not ErrCanceled), wraps
+// context.DeadlineExceeded, and lands in the deadline cause and mid-batch
+// stage counters.
 func TestSubmitDeadlineExceeded(t *testing.T) {
 	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
 	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(8))
@@ -164,13 +166,145 @@ func TestSubmitDeadlineExceeded(t *testing.T) {
 	}()
 	<-bk.entered
 	err = <-done
-	if !errors.Is(err, ErrCanceled) {
-		t.Fatalf("deadline expiry = %v, want ErrCanceled", err)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("deadline expiry = %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("deadline expiry = %v, must not be ErrCanceled", err)
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("ErrCanceled does not wrap DeadlineExceeded: %v", err)
+		t.Fatalf("ErrDeadlineExceeded does not wrap DeadlineExceeded: %v", err)
 	}
 	close(bk.release)
 	srv.Close()
 	close(bk.entered)
+	reg := srv.Registry()
+	if got := reg.Counter("serve.deadline_exceeded").Value(); got != 1 {
+		t.Errorf("serve.deadline_exceeded = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.canceled").Value(); got != 0 {
+		t.Errorf("serve.canceled = %d, want 0 (deadline is a distinct cause)", got)
+	}
+	if got := reg.Counter("serve.deadline_mid_batch").Value(); got != 1 {
+		t.Errorf("serve.deadline_mid_batch = %d, want 1", got)
+	}
+}
+
+// TestSubmitDeadlinePreEnqueue: an already-expired deadline never enqueues;
+// the pre-enqueue stage counter and the deadline cause counter move, the
+// cancel counter does not.
+func TestSubmitDeadlinePreEnqueue(t *testing.T) {
+	bk := &countingBackend{}
+	srv, err := New(bk, WithBatch(4, time.Millisecond), WithQueueBound(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err = srv.Submit(ctx, []float64{1})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Submit with expired deadline = %v, want ErrDeadlineExceeded", err)
+	}
+	bk.mu.Lock()
+	if len(bk.sizes) != 0 {
+		t.Fatalf("expired request reached the backend: batches %v", bk.sizes)
+	}
+	bk.mu.Unlock()
+	reg := srv.Registry()
+	if got := reg.Counter("serve.deadline_pre_enqueue").Value(); got != 1 {
+		t.Errorf("serve.deadline_pre_enqueue = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.deadline_exceeded").Value(); got != 1 {
+		t.Errorf("serve.deadline_exceeded = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.canceled").Value(); got != 0 {
+		t.Errorf("serve.canceled = %d, want 0", got)
+	}
+}
+
+// TestSubmitDeadlineWhileQueued: requests whose deadline fires while they
+// sit in the ingress queue are shed before flush — they never reach the
+// backend, the callers get ErrDeadlineExceeded, and the queued-stage
+// counter records each shed.
+func TestSubmitDeadlineWhileQueued(t *testing.T) {
+	const parked = 4
+	bk := &blockingBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(parked+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jam the dispatcher inside a flush so the queue holds still.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Infer([]float64{0})
+		firstDone <- err
+	}()
+	<-bk.entered
+
+	// Park requests under a deadline that fires while they are queued.
+	var wg sync.WaitGroup
+	errs := make([]error, parked)
+	for i := 0; i < parked; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = srv.SubmitDeadline(context.Background(), 20*time.Millisecond, []float64{float64(i + 1)})
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(srv.queue) < parked {
+		select {
+		case <-deadline:
+			t.Fatalf("queue never filled: %d/%d", len(srv.queue), parked)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Let the deadlines fire, then release the dispatcher.
+	wg.Wait()
+	close(bk.release)
+	if err := <-firstDone; err != nil {
+		t.Errorf("first request: %v", err)
+	}
+	srv.Close()
+
+	for i, err := range errs {
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("parked request %d: %v, want ErrDeadlineExceeded", i, err)
+		}
+	}
+	bk.mu.Lock()
+	if len(bk.batches) != 1 {
+		t.Errorf("backend saw %d batches, want 1 (expired work must be shed)", len(bk.batches))
+	}
+	bk.mu.Unlock()
+	reg := srv.Registry()
+	if got := reg.Counter("serve.deadline_exceeded").Value(); got != parked {
+		t.Errorf("serve.deadline_exceeded = %d, want %d", got, parked)
+	}
+	if got := reg.Counter("serve.deadline_queued").Value(); got != parked {
+		t.Errorf("serve.deadline_queued = %d, want %d", got, parked)
+	}
+	if got := reg.Counter("serve.canceled").Value(); got != 0 {
+		t.Errorf("serve.canceled = %d, want 0", got)
+	}
+	close(bk.entered)
+}
+
+// TestSubmitDeadlineZeroIsSubmit: SubmitDeadline with d <= 0 is plain
+// Submit — no budget, the request completes normally.
+func TestSubmitDeadlineZeroIsSubmit(t *testing.T) {
+	bk := &countingBackend{}
+	srv, err := New(bk, WithBatch(1, time.Millisecond), WithQueueBound(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, _, err := srv.SubmitDeadline(context.Background(), 0, []float64{1}); err != nil {
+		t.Fatalf("SubmitDeadline(d=0) = %v, want nil", err)
+	}
 }

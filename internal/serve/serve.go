@@ -86,11 +86,35 @@ var ErrOverloaded = errors.New("serve: ingress queue full (backpressure)")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// ErrCanceled is returned by Submit when the request's context is done
-// before a result arrives. The request may still be skipped (if its batch
-// had not flushed yet) or its result discarded (if it had); either way the
-// caller has stopped paying for it.
+// ErrCanceled is returned by Submit when the request's context is
+// *canceled* before a result arrives. The request may still be skipped (if
+// its batch had not flushed yet) or its result discarded (if it had);
+// either way the caller has stopped paying for it. A context whose
+// *deadline* fired gets ErrDeadlineExceeded instead — the two causes are
+// distinct sentinels and are counted separately in the registry
+// (serve.canceled vs serve.deadline_exceeded).
 var ErrCanceled = errors.New("serve: request canceled")
+
+// ErrDeadlineExceeded is returned by Submit when the request's context
+// deadline fires before a result arrives — the latency-budget signal, as
+// opposed to ErrCanceled (the caller walked away). Expired requests are
+// shed at whatever stage the expiry is detected: before enqueue, while
+// queued (skipped before the batch flushes, so dead work never reaches the
+// crossbars), or mid-batch (the device result is discarded). The per-stage
+// counters serve.deadline_pre_enqueue / serve.deadline_queued /
+// serve.deadline_mid_batch account for where deadlines fire; see
+// docs/RESILIENCE.md.
+var ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
+
+// expiryError wraps a context failure cause in the matching typed
+// sentinel: ErrDeadlineExceeded when the deadline fired, ErrCanceled for a
+// plain cancellation.
+func expiryError(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
 
 // request is one enqueued inference. keyed requests carry their own noise
 // sequence number down to a keyedBackend.
@@ -124,6 +148,15 @@ type serverMetrics struct {
 	latencyNS   *metrics.Histogram
 	batchSize   *metrics.Histogram
 	energyPJ    *metrics.Gauge
+
+	// Deadline accounting (docs/RESILIENCE.md): deadline is the cause
+	// total (the sibling of canceled); the three stage counters record
+	// where the expiry was detected — before enqueue, while queued (shed
+	// before flush), or mid-batch (device result discarded).
+	deadline           *metrics.Counter
+	deadlinePreEnqueue *metrics.Counter
+	deadlineQueued     *metrics.Counter
+	deadlineMidBatch   *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
@@ -138,7 +171,23 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		latencyNS:   reg.Histogram("serve.latency_ns"),
 		batchSize:   reg.Histogram("serve.batch_size"),
 		energyPJ:    reg.Gauge("serve.energy_pj"),
+
+		deadline:           reg.Counter("serve.deadline_exceeded"),
+		deadlinePreEnqueue: reg.Counter("serve.deadline_pre_enqueue"),
+		deadlineQueued:     reg.Counter("serve.deadline_queued"),
+		deadlineMidBatch:   reg.Counter("serve.deadline_mid_batch"),
 	}
+}
+
+// expire classifies a context failure, counts the cause (serve.canceled vs
+// serve.deadline_exceeded), and returns the typed error the caller gets.
+func (m *serverMetrics) expire(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		m.deadline.Inc()
+	} else {
+		m.canceled.Inc()
+	}
+	return expiryError(cause)
 }
 
 // Server is the micro-batching inference frontend. Construct with New;
@@ -229,6 +278,24 @@ func (s *Server) Submit(ctx context.Context, in []float64) ([]float64, energy.Co
 	return s.submit(&request{ctx: ctx, in: in})
 }
 
+// SubmitDeadline is Submit with a per-request latency budget: the request
+// runs under ctx bounded by deadline d (d <= 0 means no budget beyond
+// ctx's own). A request that cannot complete inside its budget is shed at
+// whatever stage the expiry is detected — before enqueue, while queued, or
+// mid-batch — and the caller gets ErrDeadlineExceeded. See
+// docs/RESILIENCE.md for the deadline-propagation contract.
+func (s *Server) SubmitDeadline(ctx context.Context, d time.Duration, in []float64) ([]float64, energy.Cost, error) {
+	if d <= 0 {
+		return s.Submit(ctx, in)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return s.Submit(ctx, in)
+}
+
 // SubmitKeyed is Submit with a caller-owned noise sequence number: the
 // request's analog read noise is drawn from the stream for seq instead of
 // the backend engine's internal inference counter, so the output is a pure
@@ -249,7 +316,10 @@ func (s *Server) submit(req *request) ([]float64, energy.Cost, error) {
 		req.ctx = ctx
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, energy.Zero, fmt.Errorf("%w: %w", ErrCanceled, err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.deadlinePreEnqueue.Inc()
+		}
+		return nil, energy.Zero, s.met.expire(err)
 	}
 	req.start = time.Now()
 	req.resp = make(chan response, 1)
@@ -279,8 +349,7 @@ func (s *Server) submit(req *request) ([]float64, energy.Cost, error) {
 		// The dispatcher will still send into the buffered resp channel
 		// (or skip the request at flush); nobody is listening, nothing
 		// leaks.
-		s.met.canceled.Inc()
-		return nil, energy.Zero, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+		return nil, energy.Zero, s.met.expire(ctx.Err())
 	}
 }
 
@@ -336,15 +405,21 @@ func (s *Server) collect(first *request) []*request {
 	return batch
 }
 
-// shedCanceled splits out requests whose context died while they waited in
-// the queue: each gets an ErrCanceled response (into its buffered channel —
-// the caller already left) and is excluded from the device batch, so
-// abandoned work never reaches the crossbars.
-func (s *Server) shedCanceled(batch []*request) []*request {
+// shedExpired splits out requests whose context died while they waited in
+// the queue: each gets a typed expiry response (ErrDeadlineExceeded or
+// ErrCanceled, into its buffered channel — the caller usually already left)
+// and is excluded from the device batch, so dead work never reaches the
+// crossbars. Only the queued-stage counter is bumped here: the *cause*
+// counters (serve.canceled / serve.deadline_exceeded) are the caller's,
+// incremented once in submit when the error surfaces.
+func (s *Server) shedExpired(batch []*request) []*request {
 	kept := batch[:0]
 	for _, req := range batch {
 		if err := req.ctx.Err(); err != nil {
-			req.resp <- response{err: fmt.Errorf("%w: %w", ErrCanceled, err)}
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.met.deadlineQueued.Inc()
+			}
+			req.resp <- response{err: expiryError(err)}
 			continue
 		}
 		kept = append(kept, req)
@@ -376,7 +451,7 @@ func (s *Server) inferBatch(sp obs.Ctx, batch []*request, inputs [][]float64, ke
 // requests never consume engine-counter sequence numbers out from under
 // unkeyed ones.
 func (s *Server) flush(batch []*request) {
-	batch = s.shedCanceled(batch)
+	batch = s.shedExpired(batch)
 	if len(batch) == 0 {
 		return
 	}
@@ -443,6 +518,12 @@ func (s *Server) flushGroup(batch []*request, keyed bool) {
 	s.simPS.Add(cost.LatencyPS)
 	share := energy.Cost{LatencyPS: cost.LatencyPS, EnergyPJ: cost.EnergyPJ / float64(len(batch))}
 	for i, req := range batch {
+		if errors.Is(req.ctx.Err(), context.DeadlineExceeded) {
+			// The deadline fired while the request was on the device: the
+			// result lands in the buffered channel but the caller has
+			// already surfaced ErrDeadlineExceeded.
+			s.met.deadlineMidBatch.Inc()
+		}
 		req.resp <- response{out: outs[i], cost: share}
 	}
 }
@@ -466,6 +547,9 @@ func (s *Server) flushIndividually(batch []*request, keyed bool) {
 		s.met.batchSize.Observe(1)
 		s.met.energyPJ.Add(cost.EnergyPJ)
 		s.simPS.Add(cost.LatencyPS)
+		if errors.Is(req.ctx.Err(), context.DeadlineExceeded) {
+			s.met.deadlineMidBatch.Inc()
+		}
 		req.resp <- response{out: outs[0], cost: cost}
 	}
 }
