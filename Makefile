@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet bench-hybrid bench-chaos cover fuzz experiments examples clean
+.PHONY: all build vet fmt-check docs-check test race verify bench bench-smoke bench-json bench-mvm bench-serve bench-fault bench-obs bench-fleet bench-hybrid bench-chaos bench-capacity cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -58,7 +58,11 @@ test:
 # resilience layer (docs/RESILIENCE.md): hedged-request bit-identity and
 # budget accounting, the AIMD limiter and brownout state machines, chaos
 # crash-window failover, and fleet membership churn (Leave/Join) racing
-# a rolling reprogram while hedged requests are in flight.
+# a rolling reprogram while hedged requests are in flight. The tenth pins
+# the workload-generation layer (docs/CAPACITY.md): arrival-schedule
+# bit-identity at pool widths 1/4/16, the chaos Poisson deprecation path,
+# trace record/replay, the open-loop drive (never-retry, no-self-throttle,
+# lateness accounting), the capacity sweep, and its benchjson gate.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
@@ -89,6 +93,10 @@ race:
 	$(GO) test -race -count=1 \
 		-run 'Hedge|Hedger|AIMD|Brownout|Limiter|Chaos|Straggler|Crash|Spikes|Arrivals|Wrap|Scenario|Reprogram|LeaveJoinRacing|Deadline|Resilience' \
 		./internal/fleet/ ./internal/chaos/ ./internal/serve/ ./cmd/cimserve/
+	$(GO) test -race -count=1 \
+		-run 'Arrivals|Poisson|MMPP|Diurnal|Trace|Mix|Drive|OpenLoop|Capacity' \
+		./internal/workloadgen/ ./internal/chaos/ ./internal/experiments/ \
+		./cmd/cimserve/ ./cmd/benchjson/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -98,9 +106,9 @@ bench:
 # GEMM sweep (batch 1/8/32/128 x 64..512, with each result's interleaved
 # looped-baseline speedup metric), converted to BENCH_mvm.json. Also runs
 # the serving-pipeline benchmark so BENCH_serve.json stays in step, and
-# the hybrid dispatch and chaos sweeps so BENCH_hybrid.json and
-# BENCH_chaos.json do too.
-bench-json: bench-serve bench-mvm bench-hybrid bench-chaos
+# the hybrid dispatch, chaos, and capacity sweeps so BENCH_hybrid.json,
+# BENCH_chaos.json, and BENCH_capacity.json do too.
+bench-json: bench-serve bench-mvm bench-hybrid bench-chaos bench-capacity
 
 # The MVM sweeps alone, with the GEMM regression gate: fails unless every
 # deterministic batch >= 8 result on an ISAAC-scale panel (>= 256) beats
@@ -175,6 +183,20 @@ bench-chaos:
 	$(GO) run ./cmd/cimbench -exp chaos -format bench \
 		| $(GO) run ./cmd/benchjson -gate-chaos -out BENCH_chaos.json
 	@echo wrote BENCH_chaos.json
+
+# SLO capacity-planning artifact (docs/CAPACITY.md): the engines x
+# offered-rate grid driven open loop (deterministic Poisson schedule,
+# mixed batch-1/batch-8/analytics request classes), each cell scored
+# against the 25ms p99 SLO with zero sheds and zero lost requests, plus
+# the rated capacity per engine count (top of the passing prefix) and the
+# closed-vs-open comparison rows that demonstrate coordinated omission.
+# The -gate-capacity check fails unless every pass bit is backed by its
+# own cell's numbers, the passing cells form a monotone prefix of the
+# rate ladder, and every engine count rates at some rung.
+bench-capacity:
+	$(GO) run ./cmd/cimbench -exp capacity -format bench \
+		| $(GO) run ./cmd/benchjson -gate-capacity -out BENCH_capacity.json
+	@echo wrote BENCH_capacity.json
 
 # Quick benchmark smoke: one iteration of the Section VI latency sweep,
 # enough to catch a broken hot path without a full benchmark run.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +66,8 @@ func main() {
 		"fail unless the hybrid sweep shows a measured crossover and auto dispatch at least matches the best single backend")
 	gateChaos := flag.Bool("gate-chaos", false,
 		"fail unless the chaos sweep lost zero keyed requests, stayed bit-identical, and kept overload p99 within 10x the fault-free baseline")
+	gateCapacity := flag.Bool("gate-capacity", false,
+		"fail unless the capacity sweep's pass/fail grid is a monotone prefix per engine count and every rated capacity passes its SLO with zero lost requests")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -112,6 +115,11 @@ func main() {
 	}
 	if *gateChaos {
 		if err := GateChaos(doc); err != nil {
+			fatal(err)
+		}
+	}
+	if *gateCapacity {
+		if err := GateCapacity(doc); err != nil {
 			fatal(err)
 		}
 	}
@@ -301,6 +309,109 @@ func GateChaos(doc *Document) error {
 	}
 	if pairs == 0 {
 		return fmt.Errorf("gate-chaos: no (none, overload) cell pair to compare p99 against")
+	}
+	return nil
+}
+
+// GateCapacity enforces the capacity-planning acceptance criteria on a
+// cimbench -exp capacity sweep (make bench-capacity). Three things must
+// hold, per engine count (docs/CAPACITY.md):
+//
+//   - Honest cells: a BenchmarkCapacity cell may claim pass only when it
+//     shed nothing, lost nothing, and its p99 (ns/op) beat the SLO. A
+//     grid whose pass bits disagree with its own numbers is reporting a
+//     rated capacity it did not measure.
+//   - Monotone knee: the passing cells form a prefix of the ascending
+//     rate ladder — every rate below a passing rate also passes. A hole
+//     in the prefix means the knee is noise, not capacity, and the rated
+//     number above it is not reproducible.
+//   - Rated = top of the prefix: the BenchmarkCapacityRated row for each
+//     engine count names exactly the highest passing rate, and at least
+//     one rate passed — a fleet that cannot serve the bottom rung of the
+//     ladder has no rated capacity to report.
+//
+// Missing cells, metrics, or rated rows are errors — the gate must not
+// pass vacuously.
+func GateCapacity(doc *Document) error {
+	type cell struct {
+		rate float64
+		pass bool
+	}
+	cells := map[int][]cell{} // engines -> ladder in input order (ascending)
+	rated := map[int]float64{}
+	for _, res := range doc.Results {
+		if rest, ok := strings.CutPrefix(res.Name, "BenchmarkCapacity/engines="); ok {
+			eng, rateStr, ok := strings.Cut(rest, "/rate=")
+			if !ok {
+				return fmt.Errorf("gate-capacity: %s names no rate", res.Name)
+			}
+			k, err := strconv.Atoi(eng)
+			if err != nil {
+				return fmt.Errorf("gate-capacity: %s: bad engine count: %v", res.Name, err)
+			}
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil {
+				return fmt.Errorf("gate-capacity: %s: bad rate: %v", res.Name, err)
+			}
+			need := map[string]float64{}
+			for _, metric := range []string{"pass", "shed", "lost", "slo_ns"} {
+				v, ok := res.Extra[metric]
+				if !ok {
+					return fmt.Errorf("gate-capacity: %s has no %s metric", res.Name, metric)
+				}
+				need[metric] = v
+			}
+			honest := need["shed"] == 0 && need["lost"] == 0 && res.NsPerOp < need["slo_ns"]
+			if need["pass"] == 1 && !honest {
+				return fmt.Errorf("gate-capacity: %s claims pass with shed=%.0f lost=%.0f p99=%.0f ns (SLO %.0f ns)",
+					res.Name, need["shed"], need["lost"], res.NsPerOp, need["slo_ns"])
+			}
+			cells[k] = append(cells[k], cell{rate: rate, pass: need["pass"] == 1})
+			continue
+		}
+		if rest, ok := strings.CutPrefix(res.Name, "BenchmarkCapacityRated/engines="); ok {
+			k, err := strconv.Atoi(rest)
+			if err != nil {
+				return fmt.Errorf("gate-capacity: %s: bad engine count: %v", res.Name, err)
+			}
+			v, ok := res.Extra["rated_rps"]
+			if !ok {
+				return fmt.Errorf("gate-capacity: %s has no rated_rps metric", res.Name)
+			}
+			rated[k] = v
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("gate-capacity: no BenchmarkCapacity results to check")
+	}
+	for k, ladder := range cells {
+		sort.Slice(ladder, func(i, j int) bool { return ladder[i].rate < ladder[j].rate })
+		top, failed := 0.0, false
+		for _, c := range ladder {
+			switch {
+			case c.pass && failed:
+				return fmt.Errorf("gate-capacity: engines=%d passes at %g rps after failing at a lower rate — the knee is not monotone", k, c.rate)
+			case c.pass:
+				top = c.rate
+			default:
+				failed = true
+			}
+		}
+		if top == 0 {
+			return fmt.Errorf("gate-capacity: engines=%d passes at no rate on the ladder", k)
+		}
+		r, ok := rated[k]
+		if !ok {
+			return fmt.Errorf("gate-capacity: engines=%d has no BenchmarkCapacityRated row", k)
+		}
+		if r != top {
+			return fmt.Errorf("gate-capacity: engines=%d rated %g rps, but the passing prefix tops out at %g rps", k, r, top)
+		}
+	}
+	for k := range rated {
+		if _, ok := cells[k]; !ok {
+			return fmt.Errorf("gate-capacity: engines=%d has a rated row but no grid cells", k)
+		}
 	}
 	return nil
 }

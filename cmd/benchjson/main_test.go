@@ -296,3 +296,118 @@ func TestGateChaos(t *testing.T) {
 		t.Error("gate passed without a (none, overload) p99 pair")
 	}
 }
+
+// capCell is one capacity-grid cell for gate tests: p99 ns/op plus the
+// pass/shed/lost bits. A metric set to -1 is omitted from the Extra map.
+type capCell struct {
+	p99, pass, shed, lost, slo float64
+}
+
+// capDoc builds a parsed document from capacity cells and rated rows.
+func capDoc(cells map[string]capCell, rated map[string]float64) *Document {
+	doc := &Document{}
+	for name, c := range cells {
+		res := Result{Name: name, NsPerOp: c.p99, Extra: map[string]float64{}}
+		for metric, v := range map[string]float64{
+			"pass": c.pass, "shed": c.shed, "lost": c.lost, "slo_ns": c.slo,
+		} {
+			if v != -1 {
+				res.Extra[metric] = v
+			}
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	for name, rps := range rated {
+		doc.Results = append(doc.Results, Result{
+			Name:  name,
+			Extra: map[string]float64{"rated_rps": rps},
+		})
+	}
+	return doc
+}
+
+// TestGateCapacity pins the `make bench-capacity` acceptance gate: honest
+// pass bits, a monotone passing prefix per engine count, rated = top of
+// the prefix, and no vacuous passes when cells, metrics, or rated rows
+// are missing.
+func TestGateCapacity(t *testing.T) {
+	const slo = 25e6
+	good := func() map[string]capCell {
+		return map[string]capCell{
+			"BenchmarkCapacity/engines=1/rate=1000":  {2e6, 1, 0, 0, slo},
+			"BenchmarkCapacity/engines=1/rate=4000":  {4e6, 1, 0, 0, slo},
+			"BenchmarkCapacity/engines=1/rate=64000": {40e6, 0, 120, 0, slo},
+			"BenchmarkCapacity/engines=2/rate=1000":  {2e6, 1, 0, 0, slo},
+			"BenchmarkCapacity/engines=2/rate=4000":  {3e6, 1, 0, 0, slo},
+			"BenchmarkCapacity/engines=2/rate=64000": {38e6, 0, 80, 0, slo},
+		}
+	}
+	goodRated := func() map[string]float64 {
+		return map[string]float64{
+			"BenchmarkCapacityRated/engines=1": 4000,
+			"BenchmarkCapacityRated/engines=2": 4000,
+		}
+	}
+	if err := GateCapacity(capDoc(good(), goodRated())); err != nil {
+		t.Errorf("passing sweep gated: %v", err)
+	}
+
+	dishonest := good()
+	dishonest["BenchmarkCapacity/engines=1/rate=4000"] = capCell{4e6, 1, 3, 0, slo}
+	if err := GateCapacity(capDoc(dishonest, goodRated())); err == nil {
+		t.Error("cell claiming pass while shedding passed the gate")
+	}
+
+	lossy := good()
+	lossy["BenchmarkCapacity/engines=1/rate=4000"] = capCell{4e6, 1, 0, 2, slo}
+	if err := GateCapacity(capDoc(lossy, goodRated())); err == nil {
+		t.Error("cell claiming pass with lost requests passed the gate")
+	}
+
+	lateButPass := good()
+	lateButPass["BenchmarkCapacity/engines=2/rate=4000"] = capCell{30e6, 1, 0, 0, slo}
+	if err := GateCapacity(capDoc(lateButPass, goodRated())); err == nil {
+		t.Error("cell claiming pass above the SLO passed the gate")
+	}
+
+	hole := good()
+	hole["BenchmarkCapacity/engines=1/rate=1000"] = capCell{30e6, 0, 10, 0, slo}
+	if err := GateCapacity(capDoc(hole, goodRated())); err == nil {
+		t.Error("non-monotone grid (fail below a pass) passed the gate")
+	}
+
+	wrongRated := goodRated()
+	wrongRated["BenchmarkCapacityRated/engines=2"] = 1000
+	if err := GateCapacity(capDoc(good(), wrongRated)); err == nil {
+		t.Error("rated row below the passing prefix top passed the gate")
+	}
+
+	noRated := goodRated()
+	delete(noRated, "BenchmarkCapacityRated/engines=2")
+	if err := GateCapacity(capDoc(good(), noRated)); err == nil {
+		t.Error("engine count without a rated row passed the gate")
+	}
+
+	noPass := good()
+	noPass["BenchmarkCapacity/engines=1/rate=1000"] = capCell{30e6, 0, 10, 0, slo}
+	noPass["BenchmarkCapacity/engines=1/rate=4000"] = capCell{30e6, 0, 10, 0, slo}
+	if err := GateCapacity(capDoc(noPass, goodRated())); err == nil {
+		t.Error("engine count with no passing rate passed the gate")
+	}
+
+	noMetric := good()
+	noMetric["BenchmarkCapacity/engines=1/rate=4000"] = capCell{4e6, 1, -1, 0, slo}
+	if err := GateCapacity(capDoc(noMetric, goodRated())); err == nil {
+		t.Error("cell without a shed metric passed the gate")
+	}
+
+	orphanRated := goodRated()
+	orphanRated["BenchmarkCapacityRated/engines=8"] = 4000
+	if err := GateCapacity(capDoc(good(), orphanRated)); err == nil {
+		t.Error("rated row without grid cells passed the gate")
+	}
+
+	if err := GateCapacity(capDoc(map[string]capCell{}, map[string]float64{})); err == nil {
+		t.Error("gate passed vacuously with no capacity cells")
+	}
+}

@@ -26,11 +26,21 @@
 //	                          # SLO-retention chaos sweep: scenario x hedging
 //	                          # grid against the fault-free oracle
 //	                          # (make bench-chaos, gated by -gate-chaos)
+//	cimbench -exp capacity -format bench -slo 25ms
+//	                          # open-loop SLO capacity sweep: fleet size x
+//	                          # offered rate grid, rated capacity per size,
+//	                          # closed-vs-open comparison (make
+//	                          # bench-capacity, gated by -gate-capacity)
 //	cimbench -trace out.json  # run the traced reference workload and write
 //	                          # a Chrome trace_event file (chrome://tracing,
 //	                          # ui.perfetto.dev)
 //	cimbench -attr            # same workload, print the per-span simulated
 //	                          # cost-attribution table
+//
+// Experiments are rows of a single registry table (the experiment type
+// below): name, -exp all membership, bench-format support, and runner
+// live in one place, and the -exp usage string, format validation, and
+// error text all derive from it.
 //
 // Simulated results are bit-identical at every -parallel width: the flag
 // only controls how many OS threads chew through the independent tiles,
@@ -39,7 +49,11 @@
 // every draw is a pure function of (seed, inference, stage, block,
 // position) — so noisy sweeps fan out like noise-free ones instead of
 // forcing themselves serial. Selected experiments also run concurrently
-// with each other, with output printed in the canonical order.
+// with each other, with output printed in the canonical order. The
+// wall-clock experiments (obs, fleet, chaos, capacity) are marked solo in
+// the registry: they run only when selected explicitly, never under
+// -exp all, where contention with the other experiments would measure
+// noise.
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cimrev/internal/energy"
 	"cimrev/internal/experiments"
@@ -56,13 +71,113 @@ import (
 	"cimrev/internal/parallel"
 )
 
+// formatter is the common shape of every experiment result.
+type formatter interface{ Format() string }
+
+// benchable is the additional shape of results that can render as
+// benchmark result lines for cmd/benchjson.
+type benchable interface{ BenchFormat() string }
+
+// params carries the parsed flag values into experiment runners.
+type params struct {
+	sizes, boards, engines []int
+	// enginesSet records whether -engines was given explicitly; the
+	// capacity sweep keeps its own default fleet sizes otherwise.
+	enginesSet bool
+	rates      []float64
+	slo        time.Duration
+}
+
+// experiment is one registry row: the single place an experiment's name,
+// -exp all membership, bench support, and runner are declared.
+type experiment struct {
+	name string
+	// solo experiments measure wall-clock behavior (client goroutines,
+	// timed sleeps, latency quantiles); they run only when selected
+	// explicitly, never as part of -exp all.
+	solo bool
+	// bench reports whether the result supports -format bench.
+	bench bool
+	run   func(p params) (formatter, error)
+}
+
+// registry is the experiment table, in canonical output order.
+var registry = []experiment{
+	{name: "fig2", run: func(params) (formatter, error) { return experiments.Fig2() }},
+	{name: "table1", run: func(params) (formatter, error) { return experiments.Table1() }},
+	{name: "table2", run: func(params) (formatter, error) { return experiments.Table2() }},
+	{name: "secvi", run: func(p params) (formatter, error) { return experiments.SecVI(p.sizes) }},
+	{name: "scale", run: func(p params) (formatter, error) { return experiments.Scale(p.boards, 512, 64) }},
+	{name: "adc", run: func(params) (formatter, error) {
+		return experiments.ADCAblation([]int{2, 4, 6, 8, 10})
+	}},
+	{name: "noise", run: func(params) (formatter, error) {
+		return experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3})
+	}},
+	{name: "parallelism", run: func(params) (formatter, error) {
+		return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
+	}},
+	{name: "fault", bench: true, run: func(params) (formatter, error) {
+		return experiments.FaultSweep(
+			[]float64{0, 0.002, 0.005, 0.01, 0.02},
+			[]int{0, 4, 8, 16},
+		)
+	}},
+	{name: "obs", solo: true, bench: true, run: func(params) (formatter, error) {
+		return experiments.ObsOverhead()
+	}},
+	{name: "hybrid", bench: true, run: func(params) (formatter, error) {
+		return experiments.HybridSweep(
+			[]int{16, 32, 64, 128, 256, 512},
+			[]int{1, 8, 64},
+			24,
+		)
+	}},
+	{name: "fleet", solo: true, bench: true, run: func(p params) (formatter, error) {
+		return experiments.FleetSweep(p.engines, fleet.PolicyNames(), 32, 2000)
+	}},
+	{name: "chaos", solo: true, bench: true, run: func(params) (formatter, error) {
+		return experiments.ChaosSweep(nil, 512)
+	}},
+	{name: "capacity", solo: true, bench: true, run: func(p params) (formatter, error) {
+		cfg := experiments.CapacityConfig{RatesRPS: p.rates, SLO: p.slo}
+		if p.enginesSet {
+			cfg.Engines = p.engines
+		}
+		return experiments.CapacitySweep(cfg)
+	}},
+}
+
+// expNames is the -exp vocabulary, derived from the registry.
+func expNames() []string {
+	names := make([]string, 0, len(registry)+1)
+	names = append(names, "all")
+	for _, e := range registry {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+// benchNames lists the experiments that support -format bench.
+func benchNames() []string {
+	var names []string
+	for _, e := range registry {
+		if e.bench {
+			names = append(names, e.name)
+		}
+	}
+	return names
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet, chaos")
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(expNames(), ", "))
 	sizes := flag.String("sizes", "512,1024,2048,4096", "comma-separated layer sizes for the Section VI sweep")
 	boards := flag.String("boards", "1,2,4,8,16", "comma-separated board counts for the scale experiment")
-	engines := flag.String("engines", "1,2,4,8", "comma-separated fleet sizes for the fleet serving sweep")
+	engines := flag.String("engines", "1,2,4,8", "comma-separated fleet sizes for the fleet serving and capacity sweeps")
+	rates := flag.String("rates", "", "comma-separated offered rates (req/s) for the capacity sweep (empty = built-in ladder)")
+	slo := flag.Duration("slo", 25*time.Millisecond, "p99 service-latency SLO for the capacity sweep")
 	workers := flag.Int("parallel", 0, "simulation worker-pool width: N goroutines, 1 = serial, 0 = GOMAXPROCS (results are identical at any width)")
-	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, fault/obs/fleet only)")
+	format := flag.String("format", "text", "output format: text (human tables) or bench (benchmark result lines, "+strings.Join(benchNames(), "/")+" only)")
 	trace := flag.String("trace", "", "run the traced reference workload and write Chrome trace_event JSON to this file")
 	attr := flag.Bool("attr", false, "run the traced reference workload and print the cost-attribution table")
 	flag.Parse()
@@ -75,10 +190,48 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *sizes, *boards, *engines, *format); err != nil {
+	p, err := parseParams(*sizes, *boards, *engines, *rates, *slo)
+	if err == nil {
+		p.enginesSet = flagWasSet("engines")
+		err = run(*exp, *format, p)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cimbench:", err)
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseParams converts the list-valued flags.
+func parseParams(sizeList, boardList, engineList, rateList string, slo time.Duration) (params, error) {
+	var p params
+	var err error
+	if p.sizes, err = parseInts(sizeList); err != nil {
+		return p, fmt.Errorf("parse -sizes: %w", err)
+	}
+	if p.boards, err = parseInts(boardList); err != nil {
+		return p, fmt.Errorf("parse -boards: %w", err)
+	}
+	if p.engines, err = parseInts(engineList); err != nil {
+		return p, fmt.Errorf("parse -engines: %w", err)
+	}
+	if rateList != "" {
+		if p.rates, err = parseFloats(rateList); err != nil {
+			return p, fmt.Errorf("parse -rates: %w", err)
+		}
+	}
+	p.slo = slo
+	return p, nil
 }
 
 // runTrace executes the traced reference workload (experiments.TraceRun)
@@ -117,153 +270,43 @@ func runTrace(traceFile string, attr bool) error {
 	return nil
 }
 
-// formatter is the common shape of every experiment result.
-type formatter interface{ Format() string }
-
-// benchFault adapts a FaultResult so the generic job machinery prints its
-// benchmark-line rendering instead of the human table.
-type benchFault struct{ res *experiments.FaultResult }
-
-func (b benchFault) Format() string { return b.res.BenchFormat() }
-
-// benchObs does the same for the tracer-overhead measurements.
-type benchObs struct{ res *experiments.ObsResult }
-
-func (b benchObs) Format() string { return b.res.BenchFormat() }
-
-// benchFleet does the same for the fleet serving sweep.
-type benchFleet struct{ res *experiments.FleetResult }
-
-func (b benchFleet) Format() string { return b.res.BenchFormat() }
-
-// benchHybrid does the same for the hybrid dispatch crossover sweep.
-type benchHybrid struct{ res *experiments.HybridResult }
-
-func (b benchHybrid) Format() string { return b.res.BenchFormat() }
-
-// benchChaos does the same for the SLO-retention chaos sweep.
-type benchChaos struct{ res *experiments.ChaosResult }
-
-func (b benchChaos) Format() string { return b.res.BenchFormat() }
-
-func run(exp, sizeList, boardList, engineList, format string) error {
-	sizes, err := parseInts(sizeList)
-	if err != nil {
-		return fmt.Errorf("parse -sizes: %w", err)
-	}
-	boards, err := parseInts(boardList)
-	if err != nil {
-		return fmt.Errorf("parse -boards: %w", err)
-	}
-	engines, err := parseInts(engineList)
-	if err != nil {
-		return fmt.Errorf("parse -engines: %w", err)
-	}
+// run selects registry rows for exp and executes them across the worker
+// pool, printing outputs in canonical order. All selection and format
+// rules — which experiments -exp all covers, which support -format bench,
+// and the error vocabulary — derive from the registry table.
+func run(exp, format string, p params) error {
 	if format != "text" && format != "bench" {
 		return fmt.Errorf("unknown format %q (want text or bench)", format)
 	}
-	if format == "bench" && exp != "fault" && exp != "obs" && exp != "fleet" && exp != "hybrid" && exp != "chaos" {
-		return fmt.Errorf("-format bench is only supported with -exp fault, -exp obs, -exp fleet, -exp hybrid, or -exp chaos")
-	}
-
-	// The canonical experiment order. Each job is independent, so selected
-	// jobs fan out across the worker pool; outputs are collected by index
-	// and printed in this order regardless of completion order.
-	jobs := []struct {
-		name string
-		fn   func() (formatter, error)
-	}{
-		{"fig2", func() (formatter, error) { return experiments.Fig2() }},
-		{"table1", func() (formatter, error) { return experiments.Table1() }},
-		{"table2", func() (formatter, error) { return experiments.Table2() }},
-		{"secvi", func() (formatter, error) { return experiments.SecVI(sizes) }},
-		{"scale", func() (formatter, error) { return experiments.Scale(boards, 512, 64) }},
-		{"adc", func() (formatter, error) { return experiments.ADCAblation([]int{2, 4, 6, 8, 10}) }},
-		{"noise", func() (formatter, error) { return experiments.NoiseAblation([]float64{0, 0.01, 0.02, 0.05, 0.1, 0.3}) }},
-		{"parallelism", func() (formatter, error) {
-			return experiments.ParallelismSweep([]float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 0.99})
-		}},
-		{"fault", func() (formatter, error) {
-			res, err := experiments.FaultSweep(
-				[]float64{0, 0.002, 0.005, 0.01, 0.02},
-				[]int{0, 4, 8, 16},
-			)
-			if err != nil {
-				return nil, err
-			}
-			if format == "bench" {
-				return benchFault{res}, nil
-			}
-			return res, nil
-		}},
-		{"obs", func() (formatter, error) {
-			res, err := experiments.ObsOverhead()
-			if err != nil {
-				return nil, err
-			}
-			if format == "bench" {
-				return benchObs{res}, nil
-			}
-			return res, nil
-		}},
-		{"hybrid", func() (formatter, error) {
-			res, err := experiments.HybridSweep(
-				[]int{16, 32, 64, 128, 256, 512},
-				[]int{1, 8, 64},
-				24,
-			)
-			if err != nil {
-				return nil, err
-			}
-			if format == "bench" {
-				return benchHybrid{res}, nil
-			}
-			return res, nil
-		}},
-		{"fleet", func() (formatter, error) {
-			res, err := experiments.FleetSweep(engines, fleet.PolicyNames(), 32, 2000)
-			if err != nil {
-				return nil, err
-			}
-			if format == "bench" {
-				return benchFleet{res}, nil
-			}
-			return res, nil
-		}},
-		{"chaos", func() (formatter, error) {
-			res, err := experiments.ChaosSweep(nil, 512)
-			if err != nil {
-				return nil, err
-			}
-			if format == "bench" {
-				return benchChaos{res}, nil
-			}
-			return res, nil
-		}},
-	}
-
-	selected := jobs[:0:0]
-	for _, j := range jobs {
-		// The obs overhead measurement is wall-clock timing, and the fleet
-		// and chaos sweeps run client goroutines with wall-clock latency
-		// quantiles (chaos also sleeps injected delays); all three only run
-		// when asked for explicitly, never as part of -exp all (they would
-		// contend with the other experiments and measure noise).
-		if (j.name == "obs" && exp != "obs") || (j.name == "fleet" && exp != "fleet") || (j.name == "chaos" && exp != "chaos") {
-			continue
-		}
-		if exp == "all" || exp == j.name {
-			selected = append(selected, j)
+	selected := registry[:0:0]
+	for _, e := range registry {
+		if exp == e.name || (exp == "all" && !e.solo) {
+			selected = append(selected, e)
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q (want all, fig2, table1, table2, secvi, scale, adc, noise, parallelism, fault, hybrid, obs, fleet, chaos)", exp)
+		return fmt.Errorf("unknown experiment %q (want %s)", exp, strings.Join(expNames(), ", "))
+	}
+	if format == "bench" {
+		for _, e := range selected {
+			if !e.bench {
+				return fmt.Errorf("-format bench is not supported by %q (supported: %s)",
+					e.name, strings.Join(benchNames(), ", "))
+			}
+		}
 	}
 
 	outputs, err := parallel.MapErr(len(selected), func(i int) (string, error) {
-		res, err := selected[i].fn()
+		res, err := selected[i].run(p)
 		if err != nil {
 			return "", err
+		}
+		if format == "bench" {
+			b, ok := res.(benchable)
+			if !ok {
+				return "", fmt.Errorf("experiment %q is marked bench but its result has no BenchFormat", selected[i].name)
+			}
+			return b.BenchFormat(), nil
 		}
 		return res.Format(), nil
 	})
@@ -281,6 +324,19 @@ func parseInts(list string) ([]int, error) {
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(list string) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,3")
@@ -15,31 +19,99 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
-func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nonsense", "64", "1", "1", "text"); err == nil {
-		t.Error("unknown experiment accepted")
+func TestParseParams(t *testing.T) {
+	p, err := parseParams("64", "1,2", "1,4", "1000, 2000.5", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := run("fig2", "bad", "1", "1", "text"); err == nil {
+	if len(p.rates) != 2 || p.rates[1] != 2000.5 || p.slo != 10*time.Millisecond {
+		t.Errorf("parseParams = %+v", p)
+	}
+	if _, err := parseParams("bad", "1", "1", "", 0); err == nil {
 		t.Error("bad sizes accepted")
 	}
-	if err := run("fig2", "64", "bad", "1", "text"); err == nil {
+	if _, err := parseParams("64", "bad", "1", "", 0); err == nil {
 		t.Error("bad boards accepted")
 	}
-	if err := run("fleet", "64", "1", "bad", "text"); err == nil {
+	if _, err := parseParams("64", "1", "bad", "", 0); err == nil {
 		t.Error("bad engines accepted")
 	}
-	if err := run("fig2", "64", "1", "1", "xml"); err == nil {
-		t.Error("unknown format accepted")
+	if _, err := parseParams("64", "1", "1", "bad", 0); err == nil {
+		t.Error("bad rates accepted")
 	}
-	if err := run("fig2", "64", "1", "1", "bench"); err == nil {
-		t.Error("-format bench accepted outside -exp fault")
+}
+
+// TestRegistryShape: the registry is the single source of truth — every
+// row has a unique name and a runner, and the derived vocabularies cover
+// it.
+func TestRegistryShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.name == "" || e.run == nil {
+			t.Fatalf("registry row missing name or runner: %+v", e)
+		}
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.solo && !e.bench {
+			t.Errorf("%s: solo wall-clock experiments exist for bench artifacts and must support -format bench", e.name)
+		}
+	}
+	for _, want := range []string{"fig2", "fault", "hybrid", "obs", "fleet", "chaos", "capacity"} {
+		if !seen[want] {
+			t.Errorf("registry lost experiment %q", want)
+		}
+	}
+	names := strings.Join(expNames(), ",")
+	if !strings.HasPrefix(names, "all,") || !strings.Contains(names, "capacity") {
+		t.Errorf("expNames() = %s", names)
+	}
+	for _, bn := range benchNames() {
+		if !seen[bn] {
+			t.Errorf("benchNames lists unknown experiment %q", bn)
+		}
+	}
+}
+
+// TestRunSelectionErrors: unknown experiments and unsupported formats
+// fail with error text derived from the table.
+func TestRunSelectionErrors(t *testing.T) {
+	p := params{sizes: []int{16}, boards: []int{1}, engines: []int{1}}
+	err := run("bogus", "text", p)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"all", "fig2", "capacity"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-experiment error does not name %q: %v", want, err)
+		}
+	}
+	if err := run("fig2", "csv", p); err == nil || !strings.Contains(err.Error(), "text or bench") {
+		t.Errorf("bad format error = %v", err)
+	}
+	// fig2 has no bench rendering; the error lists the experiments that do.
+	err = run("fig2", "bench", p)
+	if err == nil {
+		t.Fatal("-format bench accepted for a text-only experiment")
+	}
+	for _, want := range []string{"fault", "capacity", "chaos"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("bench-support error does not name %q: %v", want, err)
+		}
+	}
+	// -exp all excludes the solo wall-clock sweeps but still includes
+	// text-only experiments, so bench format under all is an error too.
+	if err := run("all", "bench", p); err == nil {
+		t.Error("-format bench accepted with -exp all")
 	}
 }
 
 func TestRunSingleExperiments(t *testing.T) {
 	// The cheap experiments run end to end (output goes to stdout).
+	p := params{sizes: []int{64}, boards: []int{1}, engines: []int{1}}
 	for _, exp := range []string{"fig2", "table1", "table2"} {
-		if err := run(exp, "64", "1", "1", "text"); err != nil {
+		if err := run(exp, "text", p); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
@@ -49,13 +121,13 @@ func TestRunSecVISmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("secvi", "64,128", "1", "1", "text"); err != nil {
+	if err := run("secvi", "text", params{sizes: []int{64, 128}, boards: []int{1}, engines: []int{1}}); err != nil {
 		t.Errorf("run(secvi): %v", err)
 	}
-	if err := run("scale", "64", "1,2", "1", "text"); err != nil {
+	if err := run("scale", "text", params{sizes: []int{64}, boards: []int{1, 2}, engines: []int{1}}); err != nil {
 		t.Errorf("run(scale): %v", err)
 	}
-	if err := run("fault", "64", "1", "1", "bench"); err != nil {
+	if err := run("fault", "bench", params{sizes: []int{64}, boards: []int{1}, engines: []int{1}}); err != nil {
 		t.Errorf("run(fault, bench): %v", err)
 	}
 }

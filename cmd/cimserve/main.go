@@ -1,10 +1,10 @@
-// Command cimserve is the closed-loop load generator for the inference
-// serving pipeline (internal/serve). It stands up the paper's Section VI
-// DPE behind the micro-batching frontend, drives it with N concurrent
-// closed-loop clients (each client issues its next request the moment the
-// previous one returns), and reports throughput and latency quantiles in
-// `go test -bench` text format so the output pipes straight through
-// cmd/benchjson into BENCH_serve.json:
+// Command cimserve is the load generator for the inference serving
+// pipeline (internal/serve). It stands up the paper's Section VI DPE
+// behind the micro-batching frontend, drives it with a workloadgen load
+// (closed-loop clients by default, open-loop arrival processes on
+// request), and reports throughput and latency quantiles in `go test
+// -bench` text format so the output pipes straight through cmd/benchjson
+// into BENCH_serve.json:
 //
 //	go run ./cmd/cimserve | go run ./cmd/benchjson -out BENCH_serve.json
 //
@@ -15,6 +15,22 @@
 //   - batch: requests flow through the adaptive micro-batcher into
 //     InferBatch, which overlaps batch items across the engine's stage
 //     pipeline (simulated time) and across the worker pool (wall time).
+//
+// Load generation is the internal/workloadgen driver (docs/CAPACITY.md):
+// -arrivals selects the arrival process — closed (the default: -clients
+// workers, each issuing its next request when the previous returns),
+// poisson, mmpp (bursty), diurnal, or trace (replay a recorded
+// schedule from -tracefile). The open-loop processes fire requests on
+// their deterministic schedule whether or not the backend keeps up —
+// -rate sets the offered req/s — and the bench line gains offered_rps,
+// achieved_rps, late_p50_ns/late_p99_ns (generator schedule slip), and
+// peak_inflight (the queue-growth witness). -mix default draws each
+// request's class (batch-1 vs batch-8 neural inference, analytics
+// probes) from the seed-keyed default mix; -record writes the generated
+// schedule and classes to a JSON trace replayable with -arrivals trace.
+// Open-loop runs require -mode batch: the serial baseline is a
+// closed-loop artifact, and an open-loop schedule against a fully
+// serialized engine just measures unbounded pile-up.
 //
 // With -engines N (N > 1) the batch mode becomes a fleet run: N
 // independent engines — each its own shadow pair, breaker, queue, and
@@ -46,9 +62,10 @@
 //
 // Errors in batch mode are broken out by cause so the benchjson archive
 // distinguishes capacity problems from health problems (docs/FAULTS.md):
-// shed counts backpressure rejections (ErrOverloaded), unhealthy counts
-// requests refused by the tripped circuit breaker (ErrUnhealthy), and
-// reprogram_failed counts weight swaps that failed after the breaker's
+// shed counts backpressure rejections (ErrOverloaded; closed-loop clients
+// retry them, open-loop drives count them and keep the schedule), unhealthy
+// counts requests refused by the tripped circuit breaker (ErrUnhealthy),
+// and reprogram_failed counts weight swaps that failed after the breaker's
 // retry budget. -stuck and -spares inject device faults to exercise these
 // paths; at the defaults (no faults) all three stay zero.
 //
@@ -93,6 +110,7 @@ import (
 	"cimrev/internal/nn"
 	"cimrev/internal/serve"
 	"cimrev/internal/vonneumann"
+	"cimrev/internal/workloadgen"
 )
 
 // options is the validated CLI configuration.
@@ -116,6 +134,29 @@ type options struct {
 	hedge     bool
 	overload  bool
 	chaos     string
+
+	// Load generation (internal/workloadgen): the arrival process, its
+	// offered rate, the request-class mix, and trace record/replay.
+	arrivals  string
+	rate      float64
+	mix       string
+	record    string
+	tracefile string
+}
+
+// openLoop reports whether the options select an open-loop drive. The
+// zero value means closed, so option structs built in code (tests,
+// embedders) keep their historical behavior without naming the flag.
+func (o options) openLoop() bool { return o.arrivals != "" && o.arrivals != "closed" }
+
+// generated reports whether the arrival process is a schedule generator
+// (recordable to a trace, parameterized by -rate).
+func (o options) generated() bool {
+	switch o.arrivals {
+	case "poisson", "mmpp", "diurnal":
+		return true
+	}
+	return false
 }
 
 // parseLayers parses a comma-separated MLP shape like "256,128,10".
@@ -151,7 +192,7 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -deadline must be >= 0 (0 disables), got %v", o.deadline)
 	case o.queue < 1:
 		return fmt.Errorf("cimserve: -queue must be >= 1, got %d", o.queue)
-	case o.queue < o.clients:
+	case !o.openLoop() && o.queue < o.clients:
 		return fmt.Errorf("cimserve: -queue (%d) must be >= -clients (%d): a closed loop never has more than one outstanding request per client, so a smaller queue just sheds load spuriously", o.queue, o.clients)
 	case o.mode != "both" && o.mode != "serial" && o.mode != "batch":
 		return fmt.Errorf("cimserve: -mode must be one of both|serial|batch, got %q", o.mode)
@@ -168,6 +209,25 @@ func (o options) validate() error {
 	case o.overload && o.engines < 2:
 		return fmt.Errorf("cimserve: -overload is a fleet-mode control, use -engines >= 2")
 	}
+	switch o.arrivals {
+	case "", "closed", "poisson", "mmpp", "diurnal", "trace":
+	default:
+		return fmt.Errorf("cimserve: -arrivals must be one of closed|poisson|mmpp|diurnal|trace, got %q", o.arrivals)
+	}
+	switch {
+	case o.generated() && o.rate <= 0:
+		return fmt.Errorf("cimserve: -arrivals %s needs a positive -rate (offered req/s), got %g", o.arrivals, o.rate)
+	case o.arrivals == "trace" && o.tracefile == "":
+		return fmt.Errorf("cimserve: -arrivals trace needs -tracefile")
+	case o.tracefile != "" && o.arrivals != "trace":
+		return fmt.Errorf("cimserve: -tracefile only applies to -arrivals trace")
+	case o.record != "" && !o.generated():
+		return fmt.Errorf("cimserve: -record needs a schedule generator (-arrivals poisson|mmpp|diurnal), got %q", o.arrivals)
+	case o.openLoop() && o.mode != "batch":
+		return fmt.Errorf("cimserve: -arrivals %s is open-loop and requires -mode batch (the serial baseline is a closed-loop artifact)", o.arrivals)
+	case o.mix != "" && o.mix != "none" && o.mix != "default":
+		return fmt.Errorf("cimserve: -mix must be none or default, got %q", o.mix)
+	}
 	if _, err := fleet.ParsePolicy(o.policy); err != nil {
 		return fmt.Errorf("cimserve: -policy: %w", err)
 	}
@@ -180,6 +240,52 @@ func (o options) validate() error {
 		return fmt.Errorf("cimserve: -chaos %s targets a fleet, use -engines >= 2", o.chaos)
 	}
 	return nil
+}
+
+// loadgen is the built workload: the arrival process (nil = closed loop)
+// and the class picker (nil = single class).
+type loadgen struct {
+	arrivals workloadgen.Arrivals
+	mix      workloadgen.Picker
+}
+
+// buildLoad constructs the arrival process and class picker the options
+// select. Trace replays resolve their recorded class names against the
+// -mix classes; with -mix none a classed trace replays its schedule only.
+func buildLoad(o options) (loadgen, error) {
+	var g loadgen
+	if o.mix == "default" {
+		g.mix = workloadgen.DefaultMix(o.seed)
+	}
+	var err error
+	switch o.arrivals {
+	case "closed":
+	case "poisson":
+		g.arrivals, err = workloadgen.NewPoisson(o.seed, o.rate)
+	case "mmpp":
+		g.arrivals, err = workloadgen.NewMMPP(workloadgen.MMPPConfig{Seed: o.seed, Rate: o.rate})
+	case "diurnal":
+		g.arrivals, err = workloadgen.NewDiurnal(workloadgen.DiurnalConfig{Seed: o.seed, Rate: o.rate})
+	case "trace":
+		f, ferr := os.Open(o.tracefile)
+		if ferr != nil {
+			return g, fmt.Errorf("cimserve: -tracefile: %w", ferr)
+		}
+		tr, terr := workloadgen.ReadTrace(f)
+		f.Close()
+		if terr != nil {
+			return g, fmt.Errorf("cimserve: -tracefile %s: %w", o.tracefile, terr)
+		}
+		rep, rerr := tr.Replay()
+		if rerr != nil {
+			return g, rerr
+		}
+		g.arrivals = rep
+		if rep.ClassNames() && o.mix == "default" {
+			g.mix, err = rep.Picker(workloadgen.DefaultMix(o.seed))
+		}
+	}
+	return g, err
 }
 
 // runStats is what one serving mode measured.
@@ -213,6 +319,15 @@ type runStats struct {
 	hedgeWon         int64
 	limiterRefused   int64
 	brownoutShed     int64
+
+	// Open-loop drive measurements (zero in closed-loop runs): the
+	// schedule's nominal rate, served throughput, generator schedule
+	// slip, and the in-flight high-water mark.
+	offeredRPS   float64
+	achievedRPS  float64
+	lateP50NS    float64
+	lateP99NS    float64
+	peakInFlight int64
 }
 
 func (s runStats) wallReqPerSec() float64 {
@@ -229,10 +344,22 @@ func (s runStats) simReqPerSec() float64 {
 	return float64(s.requests) / (float64(s.simPS) * 1e-12)
 }
 
+// fromReport folds the drive's report into the stats.
+func (s *runStats) fromReport(rep workloadgen.Report) {
+	s.requests = rep.Requests
+	s.wall = rep.Wall
+	s.shed = rep.Sheds
+	s.offeredRPS = rep.OfferedRPS
+	s.achievedRPS = rep.AchievedRPS
+	s.lateP50NS = rep.Lateness.Quantile(0.5)
+	s.lateP99NS = rep.Lateness.Quantile(0.99)
+	s.peakInFlight = rep.PeakInFlight
+}
+
 func main() {
 	var o options
 	var layersFlag string
-	flag.IntVar(&o.clients, "clients", 64, "concurrent closed-loop clients")
+	flag.IntVar(&o.clients, "clients", 64, "concurrent closed-loop clients (ignored by open-loop -arrivals)")
 	flag.IntVar(&o.requests, "requests", 2048, "total requests per mode")
 	flag.IntVar(&o.batch, "batch", 64, "micro-batcher max batch size")
 	flag.DurationVar(&o.maxdelay, "maxdelay", 2*time.Millisecond, "micro-batcher flush deadline: max delay a partial batch waits for company")
@@ -251,6 +378,11 @@ func main() {
 	flag.BoolVar(&o.hedge, "hedge", false, "fleet mode: hedge requests that outlive the tracked p95 onto a second engine (first response wins, bit-identical)")
 	flag.BoolVar(&o.overload, "overload", false, "fleet mode: enable the per-engine AIMD concurrency limiter and priority brownout")
 	flag.StringVar(&o.chaos, "chaos", "none", "fleet mode: deterministic chaos scenario to inject: none, straggler, crash, overload")
+	flag.StringVar(&o.arrivals, "arrivals", "closed", "arrival process: closed (clients loop), poisson, mmpp, diurnal, trace (open-loop, -mode batch)")
+	flag.Float64Var(&o.rate, "rate", 0, "offered req/s for -arrivals poisson|mmpp|diurnal")
+	flag.StringVar(&o.mix, "mix", "none", "request-class mix: none (single class) or default (seed-keyed batch-1/batch-8/analytics)")
+	flag.StringVar(&o.record, "record", "", "write the generated arrival schedule and classes to this JSON trace file")
+	flag.StringVar(&o.tracefile, "tracefile", "", "trace file to replay with -arrivals trace")
 	flag.Parse()
 
 	layers, err := parseLayers(layersFlag)
@@ -273,6 +405,30 @@ func fatal(err error) {
 
 // run executes the selected modes and writes bench-format lines to w.
 func run(w io.Writer, o options) error {
+	gen, err := buildLoad(o)
+	if err != nil {
+		return err
+	}
+	if o.record != "" {
+		tr, err := workloadgen.Record(gen.arrivals, gen.mix, o.requests)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(o.record)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cimserve: recorded %d arrivals (%s, %.0f req/s) to %s\n",
+			o.requests, o.arrivals, o.rate, o.record)
+	}
+
 	// The 8-bit MLP workload: default crossbar config is 8-bit weights,
 	// 8-bit inputs, 8-bit ADCs; functional mode keeps the cost model
 	// intact while skipping per-cycle ADC emulation.
@@ -331,9 +487,9 @@ func run(w io.Writer, o options) error {
 	}
 	if o.mode == "both" || o.mode == "batch" {
 		if o.engines > 1 {
-			batch, err = runFleet(cfg, net, netB, inputs, o, tel)
+			batch, err = runFleet(cfg, net, netB, inputs, o, gen, tel)
 		} else {
-			batch, err = runBatch(cfg, net, netB, inputs, o, tel)
+			batch, err = runBatch(cfg, net, netB, inputs, o, gen, tel)
 		}
 		if err != nil {
 			return err
@@ -347,6 +503,14 @@ func run(w io.Writer, o options) error {
 			"reprogram_retries": float64(batch.retries),
 		}
 		order := []string{"avg_batch", "swaps", "shed", "unhealthy", "reprogram_failed", "reprogram_retries"}
+		if o.openLoop() {
+			extra["offered_rps"] = batch.offeredRPS
+			extra["achieved_rps"] = batch.achievedRPS
+			extra["late_p50_ns"] = batch.lateP50NS
+			extra["late_p99_ns"] = batch.lateP99NS
+			extra["peak_inflight"] = float64(batch.peakInFlight)
+			order = append(order, "offered_rps", "achieved_rps", "late_p50_ns", "late_p99_ns", "peak_inflight")
+		}
 		if o.deadline > 0 {
 			extra["deadline_exceeded"] = float64(batch.deadlineExceeded)
 			order = append(order, "deadline_exceeded")
@@ -377,18 +541,41 @@ func run(w io.Writer, o options) error {
 				order = append(order, "wall_speedup")
 			}
 		}
+		// Closed-loop names keep their historical shape; open-loop names
+		// carry the arrival process instead of the (ignored) client count.
 		name := fmt.Sprintf("BenchmarkServe/batch_c%d_b%d", o.clients, o.batch)
+		if o.openLoop() {
+			name = fmt.Sprintf("BenchmarkServe/batch_%s_b%d", o.arrivals, o.batch)
+		}
 		if o.engines > 1 {
 			extra["engines"] = float64(o.engines)
 			order = append(order, "engines")
-			name = fmt.Sprintf("BenchmarkServe/fleet_c%d_b%d_e%d_%s",
-				o.clients, o.batch, o.engines, strings.ReplaceAll(o.policy, "-", "_"))
+			policy := strings.ReplaceAll(o.policy, "-", "_")
+			if o.openLoop() {
+				name = fmt.Sprintf("BenchmarkServe/fleet_%s_b%d_e%d_%s", o.arrivals, o.batch, o.engines, policy)
+			} else {
+				name = fmt.Sprintf("BenchmarkServe/fleet_c%d_b%d_e%d_%s", o.clients, o.batch, o.engines, policy)
+			}
 		}
 		emit(w, name, batch, extra, order)
 	}
 	summary(os.Stderr, o, serial, batch)
 	return nil
 }
+
+// driveConfig is the workloadgen configuration the options select.
+func driveConfig(o options, gen loadgen) workloadgen.DriveConfig {
+	return workloadgen.DriveConfig{
+		Arrivals: gen.arrivals,
+		Mix:      gen.mix,
+		Requests: o.requests,
+		Clients:  o.clients,
+	}
+}
+
+// serveMaxBatch bounds Class.Batch so fleet batch elements get distinct
+// noise keys (seq*serveMaxBatch + element).
+const serveMaxBatch = 8
 
 // runSerial measures the baseline: o.clients closed-loop clients contend
 // for one engine whose Infer calls are fully serialized — every request
@@ -402,59 +589,89 @@ func runSerial(cfg dpe.Config, net *nn.Network, inputs [][]float64, o options) (
 		return runStats{}, err
 	}
 
-	lat := metrics.NewHistogram()
 	var mu sync.Mutex // serializes Infer: the no-pipeline baseline
-	var issued atomic.Int64
 	var simPS atomic.Int64
 	var energyBits atomic.Uint64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-
-	start := time.Now()
-	for c := 0; c < o.clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for {
-				i := issued.Add(1) - 1
-				if i >= int64(o.requests) {
-					return
-				}
-				t0 := time.Now()
-				mu.Lock()
-				_, cost, err := eng.Infer(inputs[int(i)%len(inputs)])
-				mu.Unlock()
-				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-				lat.Observe(float64(time.Since(t0).Nanoseconds()))
-				simPS.Add(cost.LatencyPS)
-				addEnergy(&energyBits, cost.EnergyPJ)
-			}
-		}(c)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	rep, err := workloadgen.Drive(driveConfig(o, loadgen{}), func(req workloadgen.Request) (workloadgen.Outcome, error) {
+		mu.Lock()
+		_, cost, err := eng.Infer(inputs[req.Seq%uint64(len(inputs))])
+		mu.Unlock()
+		if err != nil {
+			return workloadgen.Fatal, err
+		}
+		simPS.Add(cost.LatencyPS)
+		addEnergy(&energyBits, cost.EnergyPJ)
+		return workloadgen.OK, nil
+	})
+	if err != nil {
 		return runStats{}, err
 	}
-	return runStats{
-		requests: o.requests,
-		wall:     wall,
+	st := runStats{
 		simPS:    simPS.Load(),
 		energyPJ: loadEnergy(&energyBits),
-		lat:      lat.Snapshot(),
-	}, nil
+		lat:      rep.Latency,
+	}
+	st.fromReport(rep)
+	return st, nil
 }
 
-// runBatch measures the pipeline: the same closed-loop clients submit to
-// the micro-batching server over a health-gated shadow pair, with optional
+// classify maps a serving error onto a drive outcome, folding the
+// cause-specific counters as it goes. Backpressure is Shed (closed-loop
+// drives retry it, open-loop drives count it and keep the schedule);
+// deadline and breaker refusals are Drops (never retried); anything else
+// is fatal.
+func classify(err error, deadlined, unhealthy *atomic.Int64) (workloadgen.Outcome, error) {
+	switch {
+	case err == nil:
+		return workloadgen.OK, nil
+	case errors.Is(err, serve.ErrDeadlineExceeded):
+		deadlined.Add(1)
+		return workloadgen.Drop, nil
+	case errors.Is(err, serve.ErrOverloaded):
+		return workloadgen.Shed, nil
+	case errors.Is(err, serve.ErrUnhealthy):
+		unhealthy.Add(1)
+		return workloadgen.Drop, nil
+	default:
+		return workloadgen.Fatal, err
+	}
+}
+
+// fanout submits a request's class batch through one: a Class.Batch of k
+// issues k concurrent submissions and the worst element outcome wins
+// (Fatal > Drop > Shed > OK).
+func fanout(req workloadgen.Request, one func(element int) (workloadgen.Outcome, error)) (workloadgen.Outcome, error) {
+	batch := req.Class.Batch
+	if batch <= 1 {
+		return one(0)
+	}
+	outcomes := make([]workloadgen.Outcome, batch)
+	errs := make([]error, batch)
+	var wg sync.WaitGroup
+	for j := 0; j < batch; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			outcomes[j], errs[j] = one(j)
+		}(j)
+	}
+	wg.Wait()
+	worst, werr := workloadgen.OK, error(nil)
+	for j, out := range outcomes {
+		if out > worst {
+			worst, werr = out, errs[j]
+		}
+	}
+	return worst, werr
+}
+
+// runBatch measures the pipeline: the workloadgen drive submits to the
+// micro-batching server over a health-gated shadow pair, with optional
 // mid-run weight swaps. Request failures are classified by cause rather
-// than collapsed into one count: backpressure (ErrOverloaded) retries,
-// breaker sheds (ErrUnhealthy) abandon the request, anything else aborts
-// the run.
-func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, tel *telemetry) (runStats, error) {
+// than collapsed into one count: backpressure (ErrOverloaded) retries in
+// closed-loop mode, breaker sheds (ErrUnhealthy) abandon the request,
+// anything else aborts the run.
+func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, gen loadgen, tel *telemetry) (runStats, error) {
 	pair, _, err := serve.NewShadowPair(cfg, net)
 	if err != nil {
 		return runStats{}, err
@@ -507,97 +724,61 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		tel.set(reg, pair, brk)
 	}
 
-	var issued, shed, unhealthy, reprogramFailed, deadlined atomic.Int64
+	var deadlined, unhealthy, reprogramFailed atomic.Int64
 	var energyBits atomic.Uint64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-
-	start := time.Now()
-	for c := 0; c < o.clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for {
-				i := issued.Add(1) - 1
-				if i >= int64(o.requests) {
-					return
-				}
-				for {
-					// SubmitDeadline with d <= 0 is plain Submit, so the
-					// fast path is unchanged when -deadline is off.
-					_, cost, err := srv.SubmitDeadline(context.Background(), o.deadline, inputs[int(i)%len(inputs)])
-					if errors.Is(err, serve.ErrDeadlineExceeded) {
-						// The request's budget expired (queued or mid-batch):
-						// it was shed, not lost — count it and move on, never
-						// retry past the deadline.
-						deadlined.Add(1)
-						break
-					}
-					if errors.Is(err, serve.ErrOverloaded) {
-						// Closed-loop clients with queue >= clients should
-						// never see this; count and retry so the bench
-						// still completes if tuned otherwise.
-						shed.Add(1)
-						time.Sleep(50 * time.Microsecond)
-						continue
-					}
-					if errors.Is(err, serve.ErrUnhealthy) {
-						// Breaker open: the request is refused, not queued.
-						// Count it and move on — the closed loop keeps
-						// running so the shed rate is measured, not fatal.
-						unhealthy.Add(1)
-						break
-					}
-					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						return
-					}
-					addEnergy(&energyBits, cost.EnergyPJ)
-					break
-				}
-			}
-		}(c)
-	}
 
 	// Shadow swaps spread across the run: reprogramming must cost the
 	// serving path nothing but the buffer swap. A swap that fails after the
 	// breaker's retry budget is counted, not fatal — the breakdown in the
 	// bench output is the measurement.
+	var swapsDone sync.WaitGroup
 	if o.reprogram > 0 {
-		interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
-		if interval < 2*time.Millisecond {
-			interval = 2 * time.Millisecond
-		}
-		for k := 0; k < o.reprogram; k++ {
-			time.Sleep(interval)
-			target := netB
-			if k%2 == 1 {
-				target = net
+		swapsDone.Add(1)
+		go func() {
+			defer swapsDone.Done()
+			interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
+			if interval < 2*time.Millisecond {
+				interval = 2 * time.Millisecond
 			}
-			// Reprogram through the dispatcher so the twin requantizes in
-			// the same swap and never serves stale weights.
-			if _, _, err := disp.Reprogram(target); err != nil {
-				reprogramFailed.Add(1)
+			for k := 0; k < o.reprogram; k++ {
+				time.Sleep(interval)
+				target := netB
+				if k%2 == 1 {
+					target = net
+				}
+				// Reprogram through the dispatcher so the twin requantizes in
+				// the same swap and never serves stale weights.
+				if _, _, err := disp.Reprogram(target); err != nil {
+					reprogramFailed.Add(1)
+				}
 			}
-		}
+		}()
 	}
 
-	wg.Wait()
-	wall := time.Since(start)
+	rep, derr := workloadgen.Drive(driveConfig(o, gen), func(req workloadgen.Request) (workloadgen.Outcome, error) {
+		return fanout(req, func(int) (workloadgen.Outcome, error) {
+			// SubmitDeadline with d <= 0 is plain Submit, so the fast path
+			// is unchanged when -deadline is off.
+			_, cost, err := srv.SubmitDeadline(context.Background(), o.deadline, inputs[req.Seq%uint64(len(inputs))])
+			out, ferr := classify(err, &deadlined, &unhealthy)
+			if out == workloadgen.OK {
+				addEnergy(&energyBits, cost.EnergyPJ)
+			}
+			return out, ferr
+		})
+	})
+	swapsDone.Wait()
 	srv.Close()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return runStats{}, err
+	if derr != nil {
+		return runStats{}, derr
 	}
 
 	snap := srv.Registry().Snapshot()
 	st := runStats{
-		requests:         o.requests,
-		wall:             wall,
 		simPS:            srv.SimTimePS(),
 		energyPJ:         loadEnergy(&energyBits),
 		lat:              snap.Histograms["serve.latency_ns"],
 		swaps:            pair.Swaps(),
-		shed:             shed.Load(),
 		unhealthy:        unhealthy.Load(),
 		reprogramFailed:  reprogramFailed.Load(),
 		deadlineExceeded: deadlined.Load(),
@@ -606,17 +787,18 @@ func runBatch(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		dispVN:           snap.Counters["dispatch.vn"],
 		dispPinned:       snap.Counters["dispatch.pinned_noisy"],
 	}
+	st.fromReport(rep)
 	st.avgBatch = snap.Histograms["serve.batch_size"].Mean()
 	return st, nil
 }
 
-// runFleet measures cluster-scale serving: the closed-loop clients drive
+// runFleet measures cluster-scale serving: the workloadgen drive feeds
 // o.engines independent serving pipelines behind the o.policy router.
 // Every request is stamped with its fleet sequence number as its noise
 // key, so outputs are bit-identical to a 1-engine run regardless of
 // placement. -reprogram fires rolling reprograms — each one updates every
 // engine, one standby at a time, with the fleet serving throughout.
-func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, tel *telemetry) (runStats, error) {
+func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o options, gen loadgen, tel *telemetry) (runStats, error) {
 	policy, err := fleet.ParsePolicy(o.policy)
 	if err != nil {
 		return runStats{}, err
@@ -691,89 +873,66 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		tel.setFleet(f)
 	}
 
-	var issued, shed, unhealthy, reprogramFailed, deadlined atomic.Int64
+	var deadlined, unhealthy, reprogramFailed atomic.Int64
 	var energyBits atomic.Uint64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-
-	start := time.Now()
-	for c := 0; c < o.clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for {
-				i := issued.Add(1) - 1
-				if i >= int64(o.requests) {
-					return
-				}
-				for {
-					// Each attempt gets its own deadline: the budget covers
-					// one trip through the router + engine, not the client's
-					// whole retry loop.
-					ctx, cancel := context.Background(), func() {}
-					if o.deadline > 0 {
-						ctx, cancel = context.WithTimeout(ctx, o.deadline)
-					}
-					_, cost, err := f.SubmitSeq(ctx, uint64(i), inputs[int(i)%len(inputs)])
-					cancel()
-					if errors.Is(err, serve.ErrDeadlineExceeded) {
-						// Shed by the per-request deadline somewhere in the
-						// pipeline — counted, never retried past its budget.
-						deadlined.Add(1)
-						break
-					}
-					if errors.Is(err, serve.ErrOverloaded) {
-						shed.Add(1)
-						time.Sleep(50 * time.Microsecond)
-						continue
-					}
-					if errors.Is(err, serve.ErrUnhealthy) {
-						unhealthy.Add(1)
-						break
-					}
-					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						return
-					}
-					addEnergy(&energyBits, cost.EnergyPJ)
-					break
-				}
-			}
-		}(c)
-	}
 
 	// Rolling reprograms spread across the run: every engine swaps, one
 	// standby at a time, and no request ever fails for it.
+	var swapsDone sync.WaitGroup
 	if o.reprogram > 0 {
-		interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
-		if interval < 2*time.Millisecond {
-			interval = 2 * time.Millisecond
-		}
-		for k := 0; k < o.reprogram; k++ {
-			time.Sleep(interval)
-			target := netB
-			if k%2 == 1 {
-				target = net
+		swapsDone.Add(1)
+		go func() {
+			defer swapsDone.Done()
+			interval := time.Duration(int64(o.requests)) * time.Microsecond / time.Duration(o.reprogram+1)
+			if interval < 2*time.Millisecond {
+				interval = 2 * time.Millisecond
 			}
-			rep := f.RollingReprogram(target)
-			reprogramFailed.Add(int64(rep.Failed))
-		}
+			for k := 0; k < o.reprogram; k++ {
+				time.Sleep(interval)
+				target := netB
+				if k%2 == 1 {
+					target = net
+				}
+				rep := f.RollingReprogram(target)
+				reprogramFailed.Add(int64(rep.Failed))
+			}
+		}()
 	}
 
-	wg.Wait()
-	wall := time.Since(start)
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return runStats{}, err
+	rep, derr := workloadgen.Drive(driveConfig(o, gen), func(req workloadgen.Request) (workloadgen.Outcome, error) {
+		return fanout(req, func(element int) (workloadgen.Outcome, error) {
+			// Each attempt gets its own deadline: the budget covers one
+			// trip through the router + engine, not the drive's retry loop.
+			ctx, cancel := context.Background(), func() {}
+			if o.deadline > 0 {
+				ctx, cancel = context.WithTimeout(ctx, o.deadline)
+			}
+			// Batch-1 requests keep the drive sequence as their noise key —
+			// bit-identical to the historical closed loop; batch-k elements
+			// derive distinct keys under the same request.
+			seq := req.Seq
+			if req.Class.Batch > 1 {
+				seq = req.Seq*serveMaxBatch + uint64(element)
+			}
+			_, cost, err := f.SubmitSeq(ctx, seq, inputs[seq%uint64(len(inputs))])
+			cancel()
+			out, ferr := classify(err, &deadlined, &unhealthy)
+			if out == workloadgen.OK {
+				addEnergy(&energyBits, cost.EnergyPJ)
+			}
+			return out, ferr
+		})
+	})
+	swapsDone.Wait()
+	if derr != nil {
+		return runStats{}, derr
 	}
 
 	fsnap := f.Registry().Snapshot()
 	st := runStats{
-		requests:         o.requests,
-		wall:             wall,
 		simPS:            f.SimTimePS(),
 		energyPJ:         loadEnergy(&energyBits),
 		lat:              fsnap.Histograms["fleet.latency_ns"],
-		shed:             shed.Load(),
 		unhealthy:        unhealthy.Load(),
 		reprogramFailed:  reprogramFailed.Load(),
 		deadlineExceeded: deadlined.Load(),
@@ -782,6 +941,7 @@ func runFleet(cfg dpe.Config, net, netB *nn.Network, inputs [][]float64, o optio
 		limiterRefused:   fsnap.Counters["fleet.limiter_refused"],
 		brownoutShed:     fsnap.Counters["fleet.brownout_shed"],
 	}
+	st.fromReport(rep)
 	var batchCount, batchSum float64
 	for _, e := range f.Engines() {
 		st.swaps += e.Pair().Swaps()
@@ -821,7 +981,7 @@ func emit(w io.Writer, name string, s runStats, extra map[string]float64, order 
 // summary prints the human-readable comparison to stderr so stdout stays
 // machine-clean for the benchjson pipe.
 func summary(w io.Writer, o options, serial, batch runStats) {
-	fmt.Fprintf(w, "cimserve: %d requests, %d clients, MLP %v (8-bit)\n", o.requests, o.clients, o.layers)
+	fmt.Fprintf(w, "cimserve: %d requests, %s, MLP %v (8-bit)\n", o.requests, loadDesc(o), o.layers)
 	if serial.requests > 0 {
 		fmt.Fprintf(w, "  serial: %8.1f req/s wall   %10.4g req/s simulated   p99 %s\n",
 			serial.wallReqPerSec(), serial.simReqPerSec(), time.Duration(serial.lat.Quantile(0.99)))
@@ -832,6 +992,10 @@ func summary(w io.Writer, o options, serial, batch runStats) {
 			batch.avgBatch, batch.swaps)
 		fmt.Fprintf(w, "  errors: shed %d   unhealthy %d   reprogram failed %d (retries %d)\n",
 			batch.shed, batch.unhealthy, batch.reprogramFailed, batch.retries)
+		if o.openLoop() {
+			fmt.Fprintf(w, "  open loop: offered %.0f req/s   achieved %.0f req/s   late p99 %s   peak in-flight %d\n",
+				batch.offeredRPS, batch.achievedRPS, time.Duration(batch.lateP99NS), batch.peakInFlight)
+		}
 		if o.deadline > 0 || o.hedge || o.overload || (o.chaos != "" && o.chaos != "none") {
 			fmt.Fprintf(w, "  resilience: chaos %q   deadline exceeded %d   hedged %d (won %d)   limiter refused %d   brownout shed %d\n",
 				o.chaos, batch.deadlineExceeded, batch.hedged, batch.hedgeWon,
@@ -847,6 +1011,17 @@ func summary(w io.Writer, o options, serial, batch runStats) {
 			float64(serial.simPS)/float64(batch.simPS),
 			serial.wall.Seconds()/batch.wall.Seconds())
 	}
+}
+
+// loadDesc names the drive for the summary header.
+func loadDesc(o options) string {
+	if o.openLoop() {
+		if o.generated() {
+			return fmt.Sprintf("open loop (%s, %.0f req/s)", o.arrivals, o.rate)
+		}
+		return fmt.Sprintf("open loop (trace %s)", o.tracefile)
+	}
+	return fmt.Sprintf("%d clients", o.clients)
 }
 
 // addEnergy CAS-adds pJ into a float64-bits cell.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -231,5 +233,136 @@ func TestRunFleetResilience(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("resilience output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestOptionsValidateLoadgen: the workloadgen flags are cross-checked —
+// generators need a rate, traces need a file, open loops need -mode
+// batch, and recording needs a generator.
+func TestOptionsValidateLoadgen(t *testing.T) {
+	good := options{clients: 4, requests: 8, batch: 2, maxdelay: time.Millisecond,
+		queue: 16, mode: "batch", layers: []int{16, 8}, engines: 1,
+		policy: "round-robin", dispatch: "cim",
+		arrivals: "poisson", rate: 1000, mix: "default"}
+	if err := good.validate(); err != nil {
+		t.Fatalf("good open-loop options rejected: %v", err)
+	}
+	mut := []func(*options){
+		func(o *options) { o.arrivals = "lognormal" },
+		func(o *options) { o.rate = 0 },
+		func(o *options) { o.rate = -5 },
+		func(o *options) { o.mode = "both" },   // open loop is batch-only
+		func(o *options) { o.mode = "serial" }, // ditto
+		func(o *options) { o.mix = "heavy" },
+		func(o *options) { o.arrivals = "trace" },                     // no -tracefile
+		func(o *options) { o.arrivals = "closed"; o.tracefile = "x" }, // file without trace mode
+		func(o *options) { o.arrivals = "closed"; o.record = "x" },    // nothing to record
+		func(o *options) { o.arrivals = "trace"; o.record = "x" },     // a trace is already recorded
+	}
+	for i, m := range mut {
+		o := good
+		m(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, o)
+		}
+	}
+	// A trace replay carries its own rate, so -rate stays zero.
+	o := good
+	o.arrivals, o.rate, o.tracefile = "trace", 0, "some.json"
+	if err := o.validate(); err != nil {
+		t.Errorf("trace options rejected: %v", err)
+	}
+}
+
+// TestRunOpenLoopEndToEnd drives the batch pipeline from a Poisson
+// schedule with the default class mix: the bench line is named for the
+// arrival process (clients don't exist in an open loop) and carries the
+// open-loop metrics.
+func TestRunOpenLoopEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	o := options{
+		clients:  4, // ignored by the open loop but still validated
+		requests: 96,
+		batch:    4,
+		maxdelay: time.Millisecond,
+		queue:    64,
+		mode:     "batch",
+		layers:   []int{32, 24, 10},
+		seed:     7,
+		engines:  1,
+		policy:   "round-robin",
+		dispatch: "cim",
+		arrivals: "poisson",
+		rate:     20_000,
+		mix:      "default",
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkServe/batch_poisson_b4-",
+		"offered_rps", "achieved_rps", "late_p50_ns", "late_p99_ns", "peak_inflight",
+		"2e+04 offered_rps", // the schedule's nominal rate, not the measured one
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("open-loop output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "_c4_") {
+		t.Errorf("open-loop bench name still carries a client count:\n%s", out)
+	}
+}
+
+// TestRunTraceRecordReplay round-trips a schedule through the CLI path:
+// one run records a Poisson schedule plus classes to a JSON trace, a
+// second replays it with -arrivals trace and reports under the trace
+// name.
+func TestRunTraceRecordReplay(t *testing.T) {
+	tracefile := filepath.Join(t.TempDir(), "arrivals.json")
+	o := options{
+		clients:  4,
+		requests: 64,
+		batch:    4,
+		maxdelay: time.Millisecond,
+		queue:    64,
+		mode:     "batch",
+		layers:   []int{32, 24, 10},
+		seed:     7,
+		engines:  1,
+		policy:   "round-robin",
+		dispatch: "cim",
+		arrivals: "poisson",
+		rate:     20_000,
+		mix:      "default",
+		record:   tracefile,
+	}
+	var sb strings.Builder
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := os.ReadFile(tracefile)
+	if err != nil {
+		t.Fatalf("recorded trace missing: %v", err)
+	}
+	for _, want := range []string{`"source": "poisson"`, `"classes"`} {
+		if !strings.Contains(string(tr), want) {
+			t.Errorf("trace file missing %q:\n%s", want, tr)
+		}
+	}
+
+	o.arrivals, o.rate, o.record, o.tracefile = "trace", 0, "", tracefile
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkServe/batch_trace_b4-") {
+		t.Errorf("replay output not named for the trace:\n%s", sb.String())
 	}
 }

@@ -195,7 +195,7 @@ func TestRunWithListen(t *testing.T) {
 	for i := range inputs {
 		inputs[i] = make([]float64, o.layers[0])
 	}
-	st, err := runBatch(cfg, net, net, inputs, o, tel)
+	st, err := runBatch(cfg, net, net, inputs, o, loadgen{}, tel)
 	if err != nil {
 		t.Fatal(err)
 	}

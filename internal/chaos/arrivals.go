@@ -1,37 +1,32 @@
-// Open-loop arrival generation. A closed-loop load generator (cimserve's
-// client goroutines, experiments.FleetSweep) cannot overload anything: a
-// slow server slows its own clients down, so the offered rate sags exactly
-// when the system is in trouble — coordinated omission by construction.
-// Real traffic does not wait. Arrivals models it as a Poisson process with
-// deterministic draws: gap i is a pure function of (seed, i), so an
-// overload experiment replays the same arrival train every run.
+// Open-loop arrival generation, now owned by internal/workloadgen. The
+// Poisson process that used to live here (the first open-loop generator
+// in the tree) was promoted to workloadgen.Poisson alongside the bursty
+// MMPP, diurnal, and trace-replay processes; this file keeps the chaos
+// names alive as thin aliases so existing callers and experiment seeds
+// keep producing bit-identical arrival trains. New code should use
+// workloadgen directly (docs/CAPACITY.md).
 package chaos
 
-import (
-	"math"
-	"time"
+import "cimrev/internal/workloadgen"
 
-	"cimrev/internal/noise"
-)
+// Arrivals is a deterministic open-loop Poisson arrival process.
+//
+// Deprecated: Arrivals is workloadgen.Poisson; use that type (and the
+// other workloadgen processes) in new code.
+type Arrivals = workloadgen.Poisson
 
-// Arrivals is a deterministic open-loop Poisson arrival process. The zero
-// value is invalid; construct with NewArrivals.
-type Arrivals struct {
-	src    noise.Source
-	meanNS float64
-}
-
-// NewArrivals returns a Poisson arrival process averaging rps arrivals per
-// second, keyed by seed. rps must be > 0.
+// NewArrivals returns a Poisson arrival process averaging rps arrivals
+// per second, keyed by seed. rps must be > 0. The gap sequence is
+// bit-identical to the historical chaos implementation for the same
+// (seed, rps) — the deprecation-path test pins it.
+//
+// Deprecated: use workloadgen.NewPoisson, which also validates the rate.
 func NewArrivals(seed int64, rps float64) Arrivals {
-	return Arrivals{src: noise.NewSource(seed), meanNS: 1e9 / rps}
-}
-
-// Gap returns the inter-arrival gap preceding arrival i: an exponential
-// draw with the process's mean, from the counter stream for i. Gaps are
-// independent across i and identical across runs.
-func (a Arrivals) Gap(i uint64) time.Duration {
-	// Float64 is uniform in (0,1), never 0, so the log is finite.
-	u := a.src.Float64(i)
-	return time.Duration(-a.meanNS * math.Log(u))
+	p, err := workloadgen.NewPoisson(seed, rps)
+	if err != nil {
+		// The historical constructor had no error path; its documented
+		// contract (rps > 0) makes a bad rate a programming error.
+		panic("chaos: " + err.Error())
+	}
+	return p
 }

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cimrev/internal/noise"
+	"cimrev/internal/workloadgen"
+)
+
+// TestArrivalsDeprecationPath pins the promotion of chaos.Arrivals to
+// workloadgen.Poisson: the new implementation must produce the same gap
+// sequence, bit for bit, as the historical chaos formula
+//
+//	gap(i) = -1e9/rps * ln(noise.NewSource(seed).Float64(i))
+//
+// for the same (seed, rps). Every archived chaos sweep and golden value
+// that keyed off the old generator replays unchanged through the alias.
+func TestArrivalsDeprecationPath(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		rps  float64
+	}{
+		{1, 200_000}, // the overload-scenario train in experiments.ChaosSweep
+		{3, 10_000},
+		{-7, 123.5},
+	} {
+		oldSrc := noise.NewSource(tc.seed)
+		meanNS := 1e9 / tc.rps
+		viaAlias := NewArrivals(tc.seed, tc.rps)
+		viaNew, err := workloadgen.NewPoisson(tc.seed, tc.rps)
+		if err != nil {
+			t.Fatalf("NewPoisson(%d, %g): %v", tc.seed, tc.rps, err)
+		}
+		for i := uint64(0); i < 4096; i++ {
+			historical := time.Duration(-meanNS * math.Log(oldSrc.Float64(i)))
+			if g := viaAlias.Gap(i); g != historical {
+				t.Fatalf("seed %d rps %g: alias gap %d = %v, historical %v", tc.seed, tc.rps, i, g, historical)
+			}
+			if g := viaNew.Gap(i); g != historical {
+				t.Fatalf("seed %d rps %g: workloadgen gap %d = %v, historical %v", tc.seed, tc.rps, i, g, historical)
+			}
+		}
+	}
+}
+
+// TestArrivalsAliasIdentity: the deprecated type is the workloadgen type,
+// not a second Poisson — a value constructed by either constructor is
+// interchangeable with the other.
+func TestArrivalsAliasIdentity(t *testing.T) {
+	var a Arrivals
+	p, err := workloadgen.NewPoisson(9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = p // compiles only if the types are identical
+	if a.Gap(0) != NewArrivals(9, 500).Gap(0) {
+		t.Error("alias and constructor disagree")
+	}
+	if got := a.Name(); got != "poisson" {
+		t.Errorf("Name() = %q, want poisson", got)
+	}
+}
+
+// TestNewArrivalsPanicsOnBadRate: the historical contract (rps must be
+// > 0) is now enforced.
+func TestNewArrivalsPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewArrivals(1, 0) did not panic")
+		}
+	}()
+	NewArrivals(1, 0)
+}

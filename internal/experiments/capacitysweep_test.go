@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCapacitySweep pins the sweep's acceptance bar on a two-rung ladder
+// that straddles the knee by a wide margin: the low rung is rated, the
+// top rung is overloaded, and the closed-loop comparison row looks
+// healthy at an offered rate the open loop proves unservable — the
+// coordinated-omission demonstration in miniature.
+func TestCapacitySweep(t *testing.T) {
+	const low, high = 2000, 200_000
+	res, err := CapacitySweep(CapacityConfig{
+		Engines:  []int{1},
+		RatesRPS: []float64{low, high},
+		Requests: 500,
+		SLO:      25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || len(res.Rated) != 1 || len(res.Compare) != 2 {
+		t.Fatalf("got %d cells, %d rated, %d compare rows; want 2/1/2",
+			len(res.Cells), len(res.Rated), len(res.Compare))
+	}
+	slo := float64(res.SLO.Nanoseconds())
+	lowCell, topCell := res.Cells[0], res.Cells[1]
+	if !lowCell.Pass || lowCell.Shed != 0 || lowCell.Lost != 0 {
+		t.Errorf("low-rate cell should pass cleanly: %+v", lowCell)
+	}
+	if topCell.Pass {
+		t.Errorf("cell at %d rps passed; the ladder top must overload the fleet", high)
+	}
+	if topCell.Shed == 0 && topCell.P99NS <= slo {
+		t.Errorf("overloaded cell shows no distress: %+v", topCell)
+	}
+	if topCell.Lost != 0 {
+		t.Errorf("overload lost %d requests; excess load must shed, not fail", topCell.Lost)
+	}
+	if rated := res.Rated[0]; rated.RatedRPS != low {
+		t.Errorf("rated %g rps, want the passing prefix top %d", rated.RatedRPS, low)
+	}
+
+	// The comparison pair: the closed loop self-throttles below the
+	// offered rate without shedding — it cannot see the overload the open
+	// loop exposes.
+	var closed, open *CapacityCompareRow
+	for i := range res.Compare {
+		switch res.Compare[i].Mode {
+		case "closed":
+			closed = &res.Compare[i]
+		case "open":
+			open = &res.Compare[i]
+		}
+	}
+	if closed == nil || open == nil {
+		t.Fatalf("compare rows missing a mode: %+v", res.Compare)
+	}
+	if closed.Shed != 0 || closed.Lost != 0 {
+		t.Errorf("closed loop shed/lost under overload: %+v", closed)
+	}
+	if closed.AchievedRPS >= closed.OfferedRPS*0.9 {
+		t.Errorf("closed loop achieved %.0f of %.0f offered; the test rate should be unachievable",
+			closed.AchievedRPS, closed.OfferedRPS)
+	}
+	if open.Shed == 0 && open.P99NS <= slo {
+		t.Errorf("open loop shows no distress at the same offered rate: %+v", open)
+	}
+
+	text := res.Format()
+	for _, want := range []string{"Rated capacity", "Closed vs open", "pass", "FAIL"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	bench := res.BenchFormat()
+	for _, want := range []string{
+		"BenchmarkCapacity/engines=1/rate=2000 1 ",
+		"BenchmarkCapacity/engines=1/rate=200000 1 ",
+		"BenchmarkCapacityRated/engines=1 1 ",
+		"BenchmarkCapacityCompare/engines=1/mode=closed 1 ",
+		"BenchmarkCapacityCompare/engines=1/mode=open 1 ",
+		"rated_rps", "slo_ns", "pass", "late_p99_ns", "peak_inflight",
+	} {
+		if !strings.Contains(bench, want) {
+			t.Errorf("BenchFormat missing %q:\n%s", want, bench)
+		}
+	}
+}
+
+// TestCapacityConfigValidation: degenerate grids are rejected.
+func TestCapacityConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]CapacityConfig{
+		"engines 0":        {Engines: []int{0}},
+		"rate 0":           {RatesRPS: []float64{0, 100}},
+		"rates descending": {RatesRPS: []float64{200, 100}},
+		"requests < 0":     {Requests: -1},
+		"slo < 0":          {SLO: -time.Second},
+	} {
+		if _, err := CapacitySweep(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
